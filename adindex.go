@@ -1,0 +1,314 @@
+package adindex
+
+import (
+	"io"
+	"sort"
+	"sync"
+
+	"adindex/internal/core"
+	"adindex/internal/corpus"
+	"adindex/internal/costmodel"
+	"adindex/internal/optimize"
+	"adindex/internal/textnorm"
+	"adindex/internal/workload"
+)
+
+// Ad is one advertisement: a bid phrase plus advertiser metadata.
+type Ad = corpus.Ad
+
+// Meta is the advertiser metadata attached to an Ad.
+type Meta = corpus.Meta
+
+// CostModel parameterizes the random-vs-sequential memory cost model used
+// by layout optimization.
+type CostModel = costmodel.Model
+
+// Counters accumulates per-query memory-access accounting (random
+// accesses, bytes scanned, hash probes); pass to the *Counted query
+// variants when instrumenting.
+type Counters = costmodel.Counters
+
+// NewAd builds an Ad from a raw bid phrase, normalizing it into the
+// canonical word set used by matching (lowercased, duplicate occurrences
+// folded, order-independent).
+func NewAd(id uint64, phrase string, meta Meta) Ad {
+	return corpus.NewAd(id, phrase, meta)
+}
+
+// Options configures an Index.
+type Options struct {
+	// MaxWords bounds data-node locator length: bid phrases with more
+	// words are stored under shorter locators, which in turn bounds the
+	// per-query subset enumeration. Default 10.
+	MaxWords int
+	// MaxQueryWords is the heuristic cutoff for extremely long queries;
+	// longer queries are reduced to their rarest MaxQueryWords indexed
+	// words (may lose matches on such extremes). Default 12.
+	MaxQueryWords int
+	// CostModel drives layout optimization. Zero value selects the
+	// default (one random access ≈ 256 sequentially scanned bytes).
+	CostModel CostModel
+}
+
+func (o Options) coreOptions() core.Options {
+	return core.Options{MaxWords: o.MaxWords, MaxQueryWords: o.MaxQueryWords}
+}
+
+func (o Options) model() costmodel.Model {
+	if o.CostModel == (CostModel{}) {
+		return costmodel.Default()
+	}
+	return o.CostModel
+}
+
+// Index is a thread-safe broad-match advertisement index. Reads may
+// proceed concurrently; mutations (Insert, Delete, Optimize) take an
+// exclusive lock.
+type Index struct {
+	opts Options
+
+	mu   sync.RWMutex
+	core *core.Index
+	// observed accumulates the query stream for workload adaptation.
+	observed map[string]*workload.Query
+	// mutations counts Insert/Delete operations, letting Optimize detect
+	// concurrent churn while it computes outside the lock.
+	mutations uint64
+}
+
+// New returns an empty index.
+func New(opts Options) *Index {
+	return &Index{
+		opts:     opts,
+		core:     core.New(nil, opts.coreOptions()),
+		observed: make(map[string]*workload.Query),
+	}
+}
+
+// Build constructs an index over ads with the default placement (each
+// distinct word set at its own data node; over-long phrases re-mapped).
+func Build(ads []Ad, opts Options) *Index {
+	return &Index{
+		opts:     opts,
+		core:     core.New(ads, opts.coreOptions()),
+		observed: make(map[string]*workload.Query),
+	}
+}
+
+// Insert adds an advertisement. The ad is placed by a fast local
+// heuristic; call Optimize periodically to restore a globally good layout.
+func (ix *Index) Insert(ad Ad) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	ix.mutations++
+	ix.core.Insert(ad)
+}
+
+// Delete removes the ad with the given ID and bid phrase, reporting
+// whether it was found.
+func (ix *Index) Delete(id uint64, phrase string) bool {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	ix.mutations++
+	return ix.core.Delete(id, phrase)
+}
+
+// BroadMatch returns copies of all ads whose bid phrases broad-match the
+// query (every bid word occurs in the query), ordered by ID.
+func (ix *Index) BroadMatch(query string) []Ad {
+	return ix.BroadMatchCounted(query, nil)
+}
+
+// BroadMatchCounted is BroadMatch with memory-access accounting.
+func (ix *Index) BroadMatchCounted(query string, counters *Counters) []Ad {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return copyMatches(ix.core.BroadMatchText(query, counters))
+}
+
+// ExactMatch returns ads whose bid phrase equals the query as a normalized
+// token sequence.
+func (ix *Index) ExactMatch(query string) []Ad {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return copyMatches(ix.core.ExactMatch(query, nil))
+}
+
+// PhraseMatch returns ads whose bid phrase occurs in the query as a
+// contiguous, ordered token subsequence.
+func (ix *Index) PhraseMatch(query string) []Ad {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return copyMatches(ix.core.PhraseMatch(query, nil))
+}
+
+func copyMatches(matches []*corpus.Ad) []Ad {
+	if len(matches) == 0 {
+		return nil
+	}
+	out := make([]Ad, len(matches))
+	for i, m := range matches {
+		out[i] = *m
+	}
+	return out
+}
+
+// Observe records one occurrence of query in the workload sample used by
+// Optimize. Call it on (a sample of) live traffic.
+func (ix *Index) Observe(query string) {
+	words := textnorm.WordSet(query)
+	if len(words) == 0 {
+		return
+	}
+	key := textnorm.SetKey(words)
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if q, ok := ix.observed[key]; ok {
+		q.Freq++
+		return
+	}
+	ix.observed[key] = &workload.Query{Words: words, Freq: 1}
+}
+
+// ObservedQueries returns the number of distinct observed queries.
+func (ix *Index) ObservedQueries() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.observed)
+}
+
+// OptimizeReport describes the outcome of a re-optimization.
+type OptimizeReport struct {
+	// NodesBefore/NodesAfter are data-node counts before and after.
+	NodesBefore, NodesAfter int
+	// ModeledCostBefore/After are the expected workload node-access costs
+	// under the cost model (hash lookups excluded; they are layout-
+	// independent).
+	ModeledCostBefore, ModeledCostAfter float64
+	// DistinctQueries is the size of the workload sample used.
+	DistinctQueries int
+}
+
+// Optimize recomputes the ad-to-node mapping against the observed workload
+// (greedy weighted set cover under the cost model) and rebuilds the index
+// under it. Query results are unaffected; only the physical layout
+// changes. With no observed workload the default placement is kept.
+//
+// The optimization and rebuild run outside the write lock, so reads and
+// writes proceed concurrently; the new index is swapped in atomically. If
+// the corpus was mutated while optimizing, the index is rebuilt from the
+// current ads under the computed mapping (newly inserted word sets fall
+// back to default placement until the next Optimize).
+func (ix *Index) Optimize() (OptimizeReport, error) {
+	ix.mu.RLock()
+	wl := &workload.Workload{}
+	for _, q := range ix.observed {
+		wl.Queries = append(wl.Queries, *q)
+	}
+	ads := ix.core.Ads()
+	nodesBefore := ix.core.NumNodes()
+	epoch := ix.mutations
+	ix.mu.RUnlock()
+
+	// Heavy work without any lock held.
+	gs := optimize.BuildGroups(ads, wl)
+	opts := optimize.Options{MaxWords: ix.opts.coreOptions().MaxWords, Model: ix.opts.model()}
+	before := optimize.IdentityMapping(gs, opts)
+	res := optimize.Optimize(gs, opts)
+	rebuilt, err := core.NewWithMapping(ads, res.Mapping, ix.opts.coreOptions())
+	if err != nil {
+		return OptimizeReport{}, err
+	}
+
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if ix.mutations != epoch {
+		// The corpus changed while we were optimizing: rebuild from the
+		// live ads so no concurrent insert/delete is lost. Sets unknown
+		// to the mapping get default placement.
+		rebuilt, err = core.NewWithMapping(ix.core.Ads(), res.Mapping, ix.opts.coreOptions())
+		if err != nil {
+			return OptimizeReport{}, err
+		}
+	}
+	report := OptimizeReport{
+		NodesBefore:       nodesBefore,
+		NodesAfter:        rebuilt.NumNodes(),
+		ModeledCostBefore: before.ModeledCost,
+		ModeledCostAfter:  res.ModeledCost,
+		DistinctQueries:   len(wl.Queries),
+	}
+	ix.core = rebuilt
+	return report, nil
+}
+
+// ExportWorkload writes the observed query sample in the text format
+// consumed by the offline optimizer (cmd/adopt): "freq<TAB>words" lines.
+// Section VI of the paper recommends running re-optimization periodically
+// on a separate machine; this is the hand-off.
+func (ix *Index) ExportWorkload(w io.Writer) error {
+	ix.mu.RLock()
+	wl := &workload.Workload{}
+	for _, q := range ix.observed {
+		wl.Queries = append(wl.Queries, *q)
+	}
+	ix.mu.RUnlock()
+	sort.Slice(wl.Queries, func(i, j int) bool {
+		if wl.Queries[i].Freq != wl.Queries[j].Freq {
+			return wl.Queries[i].Freq > wl.Queries[j].Freq
+		}
+		return wl.Queries[i].Key() < wl.Queries[j].Key()
+	})
+	return wl.Write(w)
+}
+
+// ApplyMapping rebuilds the index under a mapping computed offline (see
+// cmd/adopt and ExportWorkload). Query results are unaffected. The mapping
+// must satisfy the validity conditions (each locator a subset of its word
+// set, at most MaxWords long); entries for unknown word sets are ignored.
+func (ix *Index) ApplyMapping(r io.Reader) error {
+	mapping, err := optimize.ReadMapping(r)
+	if err != nil {
+		return err
+	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	rebuilt, err := core.NewWithMapping(ix.core.Ads(), mapping, ix.opts.coreOptions())
+	if err != nil {
+		return err
+	}
+	ix.core = rebuilt
+	return nil
+}
+
+// Stats describes the physical structure of the index.
+type Stats struct {
+	NumAds       int
+	NumNodes     int
+	DistinctSets int
+	NodeBytes    int
+	MaxNodeAds   int
+	AvgNodeAds   float64
+}
+
+// Stats returns structure statistics.
+func (ix *Index) Stats() Stats {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	s := ix.core.Stats()
+	return Stats{
+		NumAds:       s.NumAds,
+		NumNodes:     s.NumNodes,
+		DistinctSets: s.DistinctSets,
+		NodeBytes:    s.NodeBytes,
+		MaxNodeAds:   s.MaxNodeAds,
+		AvgNodeAds:   s.AvgNodeAds,
+	}
+}
+
+// Ads returns a copy of all indexed advertisements ordered by ID.
+func (ix *Index) Ads() []Ad {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.core.Ads()
+}

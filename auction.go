@@ -1,0 +1,80 @@
+package adindex
+
+import (
+	"sort"
+
+	"adindex/internal/textnorm"
+)
+
+// Selection configures the secondary filtering and ranking applied after
+// broad-match retrieval (the auction-side criteria of the paper's
+// introduction: bid price, keyword exclusion, click-through rate,
+// previously shown ads). None of these are monotone in per-keyword scores,
+// which is why they run after retrieval rather than inside the index.
+type Selection struct {
+	// MinBidMicros drops ads bidding below this floor.
+	MinBidMicros int64
+	// ExcludeShown drops ads whose IDs appear in this set (e.g. already
+	// displayed to this user).
+	ExcludeShown map[uint64]bool
+	// MaxResults caps the number of returned ads (0 = no cap).
+	MaxResults int
+	// RankByExpectedRevenue orders by BidMicros·ClickRate instead of
+	// BidMicros alone.
+	RankByExpectedRevenue bool
+}
+
+// SelectAds applies exclusion keywords, bid floors, shown-ad suppression,
+// and ranking to broad-match results for the given query, returning the
+// auction winners in rank order.
+func SelectAds(query string, matches []Ad, sel Selection) []Ad {
+	qWords := textnorm.WordSet(query)
+	out := make([]Ad, 0, len(matches))
+	for _, ad := range matches {
+		if ad.Meta.BidMicros < sel.MinBidMicros {
+			continue
+		}
+		if sel.ExcludeShown[ad.ID] {
+			continue
+		}
+		if excludedByKeyword(&ad, qWords) {
+			continue
+		}
+		out = append(out, ad)
+	}
+	score := func(a *Ad) int64 {
+		if sel.RankByExpectedRevenue {
+			return a.Meta.BidMicros * int64(a.Meta.ClickRate)
+		}
+		return a.Meta.BidMicros
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		si, sj := score(&out[i]), score(&out[j])
+		if si != sj {
+			return si > sj
+		}
+		return out[i].ID < out[j].ID
+	})
+	if sel.MaxResults > 0 && len(out) > sel.MaxResults {
+		out = out[:sel.MaxResults]
+	}
+	return out
+}
+
+// excludedByKeyword reports whether any of the ad's negative keywords
+// occurs in the query.
+func excludedByKeyword(ad *Ad, qWords []string) bool {
+	for _, e := range ad.Meta.Exclusions {
+		for _, w := range textnorm.WordSet(e) {
+			if containsWord(qWords, w) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func containsWord(sorted []string, w string) bool {
+	i := sort.SearchStrings(sorted, w)
+	return i < len(sorted) && sorted[i] == w
+}

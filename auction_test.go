@@ -1,0 +1,105 @@
+package adindex
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestSelectAdsMultiWordExclusion(t *testing.T) {
+	ads := []Ad{
+		NewAd(1, "shoes", Meta{BidMicros: 100, Exclusions: []string{"free shipping"}}),
+		NewAd(2, "shoes", Meta{BidMicros: 90}),
+	}
+	// Any word of a multi-word exclusion phrase appearing in the query
+	// triggers the exclusion.
+	got := idsOf(SelectAds("shoes with shipping", ads, Selection{}))
+	if !reflect.DeepEqual(got, []uint64{2}) {
+		t.Errorf("multi-word exclusion: %v", got)
+	}
+	got = idsOf(SelectAds("blue shoes", ads, Selection{}))
+	if !reflect.DeepEqual(got, []uint64{1, 2}) {
+		t.Errorf("no trigger: %v", got)
+	}
+}
+
+func TestSelectAdsTieBreakByID(t *testing.T) {
+	ads := []Ad{
+		NewAd(9, "x", Meta{BidMicros: 100}),
+		NewAd(3, "x", Meta{BidMicros: 100}),
+		NewAd(5, "x", Meta{BidMicros: 100}),
+	}
+	got := idsOf(SelectAds("x", ads, Selection{}))
+	if !reflect.DeepEqual(got, []uint64{3, 5, 9}) {
+		t.Errorf("tie break: %v", got)
+	}
+}
+
+func TestSelectAdsEmptyInputs(t *testing.T) {
+	if got := SelectAds("query", nil, Selection{}); len(got) != 0 {
+		t.Errorf("nil matches: %v", got)
+	}
+	ads := []Ad{NewAd(1, "x", Meta{BidMicros: 1})}
+	if got := SelectAds("", ads, Selection{}); len(got) != 1 {
+		t.Errorf("empty query should not exclude: %v", got)
+	}
+}
+
+func TestSelectAdsMaxResultsZeroMeansAll(t *testing.T) {
+	ads := []Ad{
+		NewAd(1, "x", Meta{BidMicros: 1}),
+		NewAd(2, "x", Meta{BidMicros: 2}),
+	}
+	if got := SelectAds("x", ads, Selection{MaxResults: 0}); len(got) != 2 {
+		t.Errorf("MaxResults 0: %v", idsOf(got))
+	}
+}
+
+// Property: SelectAds output is always a subset of its input, ordered by
+// the requested score descending, and within MaxResults.
+func TestSelectAdsQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(12)
+		ads := make([]Ad, n)
+		inputIDs := make(map[uint64]bool, n)
+		for i := range ads {
+			ads[i] = NewAd(uint64(i+1), "thing", Meta{
+				BidMicros: int64(rng.Intn(1000)),
+				ClickRate: uint16(rng.Intn(100)),
+			})
+			inputIDs[ads[i].ID] = true
+		}
+		sel := Selection{
+			MinBidMicros:          int64(rng.Intn(500)),
+			MaxResults:            rng.Intn(5),
+			RankByExpectedRevenue: rng.Intn(2) == 0,
+		}
+		out := SelectAds("some thing", ads, sel)
+		if sel.MaxResults > 0 && len(out) > sel.MaxResults {
+			return false
+		}
+		score := func(a *Ad) int64 {
+			if sel.RankByExpectedRevenue {
+				return a.Meta.BidMicros * int64(a.Meta.ClickRate)
+			}
+			return a.Meta.BidMicros
+		}
+		for i := range out {
+			if !inputIDs[out[i].ID] {
+				return false
+			}
+			if out[i].Meta.BidMicros < sel.MinBidMicros {
+				return false
+			}
+			if i > 0 && score(&out[i]) > score(&out[i-1]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

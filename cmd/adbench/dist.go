@@ -1,0 +1,118 @@
+package main
+
+import (
+	"fmt"
+	"math"
+
+	"adindex/internal/corpus"
+)
+
+// runFig1 regenerates Figure 1: the bid word-length distribution. The
+// paper's calibration points: peak at 3 words; 62% of bids <= 3 words,
+// 96% <= 5, 99.8% <= 8.
+func runFig1(cfg config) {
+	header("Figure 1: bid-length distribution")
+	c := mkCorpus(cfg.ads, cfg.seed)
+	h := c.LengthHistogram()
+	cum := c.CumulativeLengthShare()
+	fmt.Printf("%-8s %12s %10s %10s\n", "words", "bids", "share", "cum")
+	for l := 1; l < len(h); l++ {
+		share := float64(h[l]) / float64(c.NumAds())
+		fmt.Printf("%-8d %12d %9.3f%% %9.3f%%\n", l, h[l], share*100, cum[l]*100)
+	}
+	fmt.Printf("paper:    <=3: 62%%   <=5: 96%%   <=8: 99.8%%\n")
+	fmt.Printf("measured: <=3: %.0f%%   <=5: %.0f%%   <=8: %.1f%%\n",
+		cum[3]*100, cum[5]*100, cum[min(8, len(cum)-1)]*100)
+}
+
+// runFig2 regenerates Figure 2: the number of ads per word set follows a
+// long-tail (Zipf) distribution. Printed at logarithmic rank spacing like
+// the paper's log-log plot of the top 32K combinations.
+func runFig2(cfg config) {
+	header("Figure 2: ads per word-set (long tail)")
+	c := mkCorpus(cfg.ads, cfg.seed)
+	freqs := c.SetFrequencies()
+	fmt.Printf("distinct word sets: %d (of %d ads)\n", len(freqs), c.NumAds())
+	fmt.Printf("%-10s %12s\n", "rank", "ads/set")
+	for rank := 1; rank <= len(freqs) && rank <= 32768; rank *= 2 {
+		fmt.Printf("%-10d %12d\n", rank, freqs[rank-1])
+	}
+	slope := logLogSlope(freqs)
+	fmt.Printf("log-log slope (head to rank 1024): %.2f (Zipf-like if clearly negative)\n", slope)
+}
+
+// runFig3 regenerates Figure 3: machine-translation rule lengths fall off
+// much more slowly than bid lengths, though both peak at 3.
+func runFig3(cfg config) {
+	header("Figure 3: bid lengths vs MT rule lengths")
+	bids := mkCorpus(cfg.ads, cfg.seed)
+	mt := corpus.GenerateMTRules(cfg.ads, cfg.seed+7)
+	bh, mh := bids.LengthHistogram(), mt.LengthHistogram()
+	n := len(bh)
+	if len(mh) > n {
+		n = len(mh)
+	}
+	fmt.Printf("%-8s %10s %10s\n", "words", "bids", "MT rules")
+	for l := 1; l < n; l++ {
+		fmt.Printf("%-8d %9.2f%% %9.2f%%\n", l, pct(bh, l, bids.NumAds()), pct(mh, l, mt.NumAds()))
+	}
+	bc, mc := bids.CumulativeLengthShare(), mt.CumulativeLengthShare()
+	fmt.Printf("mass at >5 words: bids %.1f%%, MT %.1f%% (MT falls off slower)\n",
+		(1-at(bc, 5))*100, (1-at(mc, 5))*100)
+}
+
+// runFig7 regenerates Figure 7: single-keyword frequencies are far more
+// skewed than word-set frequencies — the root cause of inverted-index
+// inefficiency for broad match.
+func runFig7(cfg config) {
+	header("Figure 7: keyword vs word-set frequency skew")
+	c := mkCorpus(cfg.ads, cfg.seed)
+	wf := c.WordFrequencies()
+	sf := c.SetFrequencies()
+	fmt.Printf("%-10s %14s %14s\n", "rank", "keyword freq", "word-set freq")
+	for rank := 1; rank <= 32768; rank *= 2 {
+		w, s := 0, 0
+		if rank <= len(wf) {
+			w = wf[rank-1]
+		}
+		if rank <= len(sf) {
+			s = sf[rank-1]
+		}
+		fmt.Printf("%-10d %14d %14d\n", rank, w, s)
+	}
+	fmt.Printf("top-keyword/top-set ratio: %.0fx (paper: popular keys ~3000 ads vs ~100)\n",
+		float64(wf[0])/float64(sf[0]))
+}
+
+func pct(h []int, l, total int) float64 {
+	if l >= len(h) || total == 0 {
+		return 0
+	}
+	return float64(h[l]) / float64(total) * 100
+}
+
+func at(cum []float64, l int) float64 {
+	if l >= len(cum) {
+		return 1
+	}
+	return cum[l]
+}
+
+func logLogSlope(freqs []int) float64 {
+	hi := 1024
+	if hi > len(freqs) {
+		hi = len(freqs)
+	}
+	if hi < 2 || freqs[0] == 0 || freqs[hi-1] == 0 {
+		return 0
+	}
+	return (math.Log(float64(freqs[hi-1])) - math.Log(float64(freqs[0]))) /
+		(math.Log(float64(hi)) - math.Log(1))
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

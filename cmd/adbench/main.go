@@ -1,0 +1,126 @@
+// adbench regenerates every table and figure of the paper's evaluation
+// (Section VII) plus the distribution figures of the introduction, on
+// synthetic corpora with the documented distributional properties.
+//
+// Usage:
+//
+//	adbench -experiment all
+//	adbench -experiment fig8 -ads 1000000 -queries 100000
+//
+// Experiments (see DESIGN.md §4 for the paper mapping):
+//
+//	fig1      bid-length distribution
+//	fig2      ads-per-word-set long tail
+//	fig3      MT rule lengths vs bid lengths
+//	fig7      keyword vs word-set frequency skew
+//	tput      §VII-A throughput: ours vs both inverted baselines
+//	keysize   §VII-A elements-per-key for popular terms
+//	fig8      data volume ratio vs corpus size
+//	fig9      §VII-B two-server latency distribution and throughput
+//	fig10     re-mapping variants: none / long-only / full
+//	counters  §VII-C simulated hardware counters
+//	compress  §VI compressed lookup structure sizes
+//	ablation  design-choice sweeps (max_words, withdrawal, front coding)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime/debug"
+	"strings"
+
+	"adindex/internal/corpus"
+	"adindex/internal/workload"
+)
+
+type config struct {
+	ads     int
+	queries int
+	seed    int64
+	stream  int
+}
+
+func main() {
+	experiment := flag.String("experiment", "all", "experiment id or 'all'")
+	ads := flag.Int("ads", 200000, "corpus size")
+	queries := flag.Int("queries", 20000, "distinct workload queries")
+	stream := flag.Int("stream", 100000, "query stream length for timed runs")
+	seed := flag.Int64("seed", 1, "generation seed")
+	flag.Parse()
+
+	// The harness keeps several corpora and indexes alive at once; a
+	// higher GC target keeps collector pauses out of the timed sections.
+	debug.SetGCPercent(400)
+
+	cfg := config{ads: *ads, queries: *queries, seed: *seed, stream: *stream}
+	experiments := map[string]func(config){
+		"fig1":        runFig1,
+		"fig2":        runFig2,
+		"fig3":        runFig3,
+		"fig7":        runFig7,
+		"tput":        runThroughput,
+		"keysize":     runKeySize,
+		"fig8":        runFig8,
+		"fig9":        runFig9,
+		"fig10":       runFig10,
+		"counters":    runCounters,
+		"compress":    runCompress,
+		"ablation":    runAblation,
+		"maintenance": runMaintenance,
+	}
+	order := []string{"fig1", "fig2", "fig3", "fig7", "tput", "keysize",
+		"fig8", "fig9", "fig10", "counters", "compress", "ablation", "maintenance"}
+
+	switch {
+	case *experiment == "all":
+		for _, id := range order {
+			experiments[id](cfg)
+		}
+	default:
+		fn, ok := experiments[*experiment]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; known: %s all\n",
+				*experiment, strings.Join(order, " "))
+			os.Exit(2)
+		}
+		fn(cfg)
+	}
+}
+
+func header(title string) {
+	fmt.Printf("\n==== %s ====\n", title)
+}
+
+// mkCorpus builds the experiment corpus (cached per size+seed within one
+// process run).
+var corpusCache = map[string]*corpus.Corpus{}
+
+func mkCorpus(n int, seed int64) *corpus.Corpus {
+	key := fmt.Sprintf("%d/%d", n, seed)
+	if c, ok := corpusCache[key]; ok {
+		return c
+	}
+	c := corpus.Generate(corpus.GenOptions{NumAds: n, Seed: seed})
+	corpusCache[key] = c
+	return c
+}
+
+var workloadCache = map[string]*workload.Workload{}
+
+func mkWorkload(c *corpus.Corpus, n int, seed int64) *workload.Workload {
+	key := fmt.Sprintf("%p/%d/%d", c, n, seed)
+	if wl, ok := workloadCache[key]; ok {
+		return wl
+	}
+	wl := workload.Generate(c, workload.GenOptions{NumQueries: n, Seed: seed})
+	workloadCache[key] = wl
+	return wl
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,75 @@
+// adgen generates synthetic advertisement corpora and query workloads with
+// the distributional properties of the paper's real datasets (Figures 1, 2
+// and 7), in the line-oriented text formats read by cmd/adserve and the
+// library's corpus/workload readers.
+//
+// Usage:
+//
+//	adgen -ads 1000000 -out corpus.tsv
+//	adgen -ads 1000000 -queries 100000 -out corpus.tsv -queries-out workload.tsv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"adindex/internal/corpus"
+	"adindex/internal/workload"
+)
+
+func main() {
+	numAds := flag.Int("ads", 100000, "number of advertisements to generate")
+	numQueries := flag.Int("queries", 0, "number of distinct workload queries to generate (0 = none)")
+	seed := flag.Int64("seed", 1, "generation seed")
+	vocab := flag.Int("vocab", 0, "vocabulary size (0 = auto)")
+	reuse := flag.Float64("reuse", 0, "word-set reuse probability (0 = default 0.45)")
+	out := flag.String("out", "-", "corpus output file (- = stdout)")
+	queriesOut := flag.String("queries-out", "-", "workload output file (- = stdout)")
+	stats := flag.Bool("stats", false, "print distribution statistics to stderr")
+	flag.Parse()
+
+	c := corpus.Generate(corpus.GenOptions{
+		NumAds:    *numAds,
+		Seed:      *seed,
+		VocabSize: *vocab,
+		ReuseProb: *reuse,
+	})
+	if err := writeTo(*out, func(f *os.File) error { return c.Write(f) }); err != nil {
+		log.Fatalf("writing corpus: %v", err)
+	}
+	if *stats {
+		printStats(c)
+	}
+	if *numQueries > 0 {
+		wl := workload.Generate(c, workload.GenOptions{NumQueries: *numQueries, Seed: *seed + 1})
+		if err := writeTo(*queriesOut, func(f *os.File) error { return wl.Write(f) }); err != nil {
+			log.Fatalf("writing workload: %v", err)
+		}
+	}
+}
+
+func writeTo(path string, write func(*os.File) error) error {
+	if path == "-" {
+		return write(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func printStats(c *corpus.Corpus) {
+	cum := c.CumulativeLengthShare()
+	fmt.Fprintf(os.Stderr, "ads=%d distinct-sets=%d vocab=%d\n",
+		c.NumAds(), c.DistinctSets(), len(c.Vocabulary()))
+	for l := 1; l < len(cum); l++ {
+		fmt.Fprintf(os.Stderr, "  <=%2d words: %6.2f%%\n", l, cum[l]*100)
+	}
+}

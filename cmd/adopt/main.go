@@ -1,0 +1,92 @@
+// adopt is the offline layout optimizer (Section VI: "this re-computation
+// is only performed periodically (potentially on a separate machine)"). It
+// reads a corpus file and an observed-workload file, computes the
+// workload-adapted mapping by greedy weighted set cover under the memory
+// cost model, and writes the mapping for serving processes to apply
+// (adindex.Index.ApplyMapping).
+//
+// Usage:
+//
+//	adgen -ads 100000 -queries 10000 -out corpus.tsv -queries-out wl.tsv
+//	adopt -corpus corpus.tsv -workload wl.tsv -out mapping.tsv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"adindex/internal/corpus"
+	"adindex/internal/optimize"
+	"adindex/internal/workload"
+)
+
+func main() {
+	corpusPath := flag.String("corpus", "", "corpus TSV file (required)")
+	workloadPath := flag.String("workload", "", "workload TSV file (required)")
+	out := flag.String("out", "-", "mapping output file (- = stdout)")
+	maxWords := flag.Int("max-words", 10, "max_words locator bound")
+	compression := flag.Float64("compression-ratio", 1, "node compression ratio folded into scan costs (1 = uncompressed)")
+	flag.Parse()
+	if *corpusPath == "" || *workloadPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	ads := mustReadCorpus(*corpusPath)
+	wl := mustReadWorkload(*workloadPath)
+	log.Printf("optimizing %d ads against %d distinct queries...", len(ads.Ads), len(wl.Queries))
+
+	gs := optimize.BuildGroups(ads.Ads, wl)
+	opts := optimize.Options{MaxWords: *maxWords, CompressionRatio: *compression}
+	id := optimize.IdentityMapping(gs, opts)
+	res := optimize.Optimize(gs, opts)
+	log.Printf("nodes %d -> %d, modeled cost %.3g -> %.3g (%.1f%% better)",
+		id.Nodes, res.Nodes, id.ModeledCost, res.ModeledCost,
+		(1-res.ModeledCost/id.ModeledCost)*100)
+
+	var w *os.File
+	if *out == "-" {
+		w = os.Stdout
+	} else {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := optimize.WriteMapping(w, res.Mapping); err != nil {
+		log.Fatalf("writing mapping: %v", err)
+	}
+}
+
+func mustReadCorpus(path string) *corpus.Corpus {
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	c, err := corpus.Read(f)
+	if err != nil {
+		log.Fatalf("reading corpus: %v", err)
+	}
+	return c
+}
+
+func mustReadWorkload(path string) *workload.Workload {
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	wl, err := workload.Read(f)
+	if err != nil {
+		log.Fatalf("reading workload: %v", err)
+	}
+	if len(wl.Queries) == 0 {
+		fmt.Fprintln(os.Stderr, "warning: empty workload; identity mapping will be produced")
+	}
+	return wl
+}

@@ -1,0 +1,108 @@
+// adserve serves broad-match queries over HTTP from a corpus file produced
+// by adgen (or any file in the same TSV format).
+//
+// Usage:
+//
+//	adgen -ads 100000 -out corpus.tsv
+//	adserve -corpus corpus.tsv -addr :8077
+//	curl 'http://localhost:8077/search?q=cheap+used+books'
+//
+// Endpoints:
+//
+//	/search?q=...&type=broad|exact|phrase   retrieval
+//	/stats                                  index structure statistics
+//	/optimize                               re-optimize layout from observed queries
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+
+	"adindex"
+	"adindex/internal/corpus"
+)
+
+func main() {
+	corpusPath := flag.String("corpus", "", "corpus TSV file (required)")
+	mappingPath := flag.String("mapping", "", "optional mapping file from cmd/adopt to apply at startup")
+	addr := flag.String("addr", "127.0.0.1:8077", "listen address")
+	maxWords := flag.Int("max-words", 0, "max_words locator bound (0 = default 10)")
+	flag.Parse()
+	if *corpusPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	f, err := os.Open(*corpusPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	c, err := corpus.Read(f)
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("loaded %d ads from %s", c.NumAds(), *corpusPath)
+	ix := adindex.Build(c.Ads, adindex.Options{MaxWords: *maxWords})
+	if *mappingPath != "" {
+		mf, err := os.Open(*mappingPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := ix.ApplyMapping(mf); err != nil {
+			log.Fatalf("applying mapping: %v", err)
+		}
+		mf.Close()
+		log.Printf("applied offline mapping from %s", *mappingPath)
+	}
+	st := ix.Stats()
+	log.Printf("index ready: %d ads, %d nodes, %d distinct sets",
+		st.NumAds, st.NumNodes, st.DistinctSets)
+
+	http.HandleFunc("/search", func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query().Get("q")
+		if strings.TrimSpace(q) == "" {
+			http.Error(w, "missing q parameter", http.StatusBadRequest)
+			return
+		}
+		ix.Observe(q)
+		var matches []adindex.Ad
+		switch r.URL.Query().Get("type") {
+		case "", "broad":
+			matches = ix.BroadMatch(q)
+		case "exact":
+			matches = ix.ExactMatch(q)
+		case "phrase":
+			matches = ix.PhraseMatch(q)
+		default:
+			http.Error(w, "type must be broad, exact, or phrase", http.StatusBadRequest)
+			return
+		}
+		writeJSON(w, matches)
+	})
+	http.HandleFunc("/stats", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, ix.Stats())
+	})
+	http.HandleFunc("/optimize", func(w http.ResponseWriter, _ *http.Request) {
+		report, err := ix.Optimize()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		writeJSON(w, report)
+	})
+
+	log.Printf("listening on http://%s", *addr)
+	log.Fatal(http.ListenAndServe(*addr, nil))
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("encode response: %v", err)
+	}
+}

@@ -1,0 +1,203 @@
+// Adserver: a minimal end-to-end sponsored-search retrieval service. It
+// generates a synthetic campaign catalog, serves broad-match queries over
+// HTTP, applies the auction-side filters, and periodically re-optimizes
+// the index layout from the observed traffic — the full lifecycle the
+// paper's system would run in production.
+//
+// Run with:
+//
+//	go run ./examples/adserver -addr :8077 -ads 20000
+//
+// then query it:
+//
+//	curl 'http://localhost:8077/search?q=cheap+running+shoes'
+//	curl 'http://localhost:8077/stats'
+//
+// This example also demonstrates the self-driving mode used by automated
+// tests: -demo runs a scripted session against the server and exits.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net"
+	"net/http"
+	"strings"
+	"time"
+
+	"adindex"
+)
+
+type server struct {
+	ix *adindex.Index
+}
+
+type searchResponse struct {
+	Query   string     `json:"query"`
+	Matched int        `json:"matched"`
+	Winners []adResult `json:"winners"`
+	TookUS  int64      `json:"took_us"`
+}
+
+type adResult struct {
+	ID        uint64 `json:"id"`
+	Phrase    string `json:"phrase"`
+	BidMicros int64  `json:"bid_micros"`
+	ClickRate uint16 `json:"click_rate"`
+}
+
+func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query().Get("q")
+	if strings.TrimSpace(q) == "" {
+		http.Error(w, "missing q parameter", http.StatusBadRequest)
+		return
+	}
+	start := time.Now()
+	s.ix.Observe(q)
+	matches := s.ix.BroadMatch(q)
+	winners := adindex.SelectAds(q, matches, adindex.Selection{
+		RankByExpectedRevenue: true,
+		MaxResults:            5,
+	})
+	resp := searchResponse{Query: q, Matched: len(matches), TookUS: time.Since(start).Microseconds()}
+	for _, ad := range winners {
+		resp.Winners = append(resp.Winners, adResult{
+			ID: ad.ID, Phrase: ad.Phrase,
+			BidMicros: ad.Meta.BidMicros, ClickRate: ad.Meta.ClickRate,
+		})
+	}
+	writeJSON(w, resp)
+}
+
+func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, s.ix.Stats())
+}
+
+func (s *server) handleOptimize(w http.ResponseWriter, _ *http.Request) {
+	report, err := s.ix.Optimize()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, report)
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("encode response: %v", err)
+	}
+}
+
+// buildCatalog synthesizes a campaign catalog with realistic phrase
+// structure: base products plus modifier variants, some with negative
+// keywords.
+func buildCatalog(n int, seed int64) []adindex.Ad {
+	rng := rand.New(rand.NewSource(seed))
+	products := []string{
+		"running shoes", "trail shoes", "dress shoes", "leather boots",
+		"rain jacket", "down jacket", "wool socks", "yoga mat",
+		"mountain bike", "road bike", "bike helmet", "tennis racket",
+		"used books", "comic books", "cook books",
+	}
+	modifiers := []string{"cheap", "discount", "best", "kids", "mens", "womens",
+		"waterproof", "sale", "clearance", "premium"}
+	ads := make([]adindex.Ad, 0, n)
+	for i := 0; i < n; i++ {
+		phrase := products[rng.Intn(len(products))]
+		for m := rng.Intn(3); m > 0; m-- {
+			phrase = modifiers[rng.Intn(len(modifiers))] + " " + phrase
+		}
+		meta := adindex.Meta{
+			CampaignID: uint32(rng.Intn(500)),
+			BidMicros:  int64(20_000 + rng.Intn(2_000_000)),
+			ClickRate:  uint16(rng.Intn(800)),
+		}
+		if rng.Intn(20) == 0 {
+			meta.Exclusions = []string{"free"}
+		}
+		ads = append(ads, adindex.NewAd(uint64(i+1), phrase, meta))
+	}
+	return ads
+}
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8077", "listen address")
+	numAds := flag.Int("ads", 20000, "synthetic catalog size")
+	demo := flag.Bool("demo", false, "run a scripted client session and exit")
+	optimizeEvery := flag.Duration("optimize-every", 0, "periodic re-optimization interval (0 = manual via /optimize)")
+	flag.Parse()
+
+	log.Printf("building catalog of %d ads...", *numAds)
+	s := &server{ix: adindex.Build(buildCatalog(*numAds, 1), adindex.Options{})}
+	st := s.ix.Stats()
+	log.Printf("index ready: %d ads, %d nodes", st.NumAds, st.NumNodes)
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/search", s.handleSearch)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/optimize", s.handleOptimize)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("listening on http://%s", ln.Addr())
+
+	if *optimizeEvery > 0 {
+		go func() {
+			for range time.Tick(*optimizeEvery) {
+				if report, err := s.ix.Optimize(); err == nil {
+					log.Printf("re-optimized: %d -> %d nodes", report.NodesBefore, report.NodesAfter)
+				}
+			}
+		}()
+	}
+
+	httpSrv := &http.Server{Handler: mux}
+	if *demo {
+		go httpSrv.Serve(ln)
+		runDemo(fmt.Sprintf("http://%s", ln.Addr()))
+		return
+	}
+	log.Fatal(httpSrv.Serve(ln))
+}
+
+func runDemo(base string) {
+	queries := []string{
+		"cheap running shoes sale",
+		"waterproof rain jacket for hiking",
+		"used books free shipping",
+		"best mountain bike helmet deals",
+	}
+	for _, q := range queries {
+		resp, err := http.Get(base + "/search?q=" + strings.ReplaceAll(q, " ", "+"))
+		if err != nil {
+			log.Fatal(err)
+		}
+		var out searchResponse
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			log.Fatal(err)
+		}
+		resp.Body.Close()
+		fmt.Printf("%-40q matched=%-4d winners=%d took=%dus\n",
+			out.Query, out.Matched, len(out.Winners), out.TookUS)
+		for _, w := range out.Winners {
+			fmt.Printf("    #%d %q bid=%d\n", w.ID, w.Phrase, w.BidMicros)
+		}
+	}
+	resp, err := http.Get(base + "/optimize")
+	if err != nil {
+		log.Fatal(err)
+	}
+	var report adindex.OptimizeReport
+	if err := json.NewDecoder(resp.Body).Decode(&report); err != nil {
+		log.Fatal(err)
+	}
+	resp.Body.Close()
+	fmt.Printf("optimize: nodes %d -> %d, modeled cost %.0f -> %.0f\n",
+		report.NodesBefore, report.NodesAfter, report.ModeledCostBefore, report.ModeledCostAfter)
+}

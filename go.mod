@@ -1,0 +1,3 @@
+module adindex
+
+go 1.22

@@ -1,0 +1,329 @@
+// Package bitvec provides the succinct bit-vector machinery behind the
+// compressed hash-lookup structure of Section VI: plain bit vectors with
+// constant-time broadword rank/select, and a sparse (Elias–Fano style)
+// representation for vectors with few 1-bits, as used for the B^sig and
+// B^off arrays. It also exposes the zero-order empirical entropy H_0 used
+// by the paper's space analysis.
+package bitvec
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// Vector is a mutable fixed-length bit vector. Call BuildRank before using
+// Rank1/Select1 and after the last mutation.
+type Vector struct {
+	n     int
+	words []uint64
+	// rank[i] is the number of 1-bits strictly before word i (one entry
+	// per word keeps the implementation simple; a production structure
+	// would use two-level directories, but the asymptotics match).
+	rank []int
+	ones int
+}
+
+// New returns an all-zero vector of n bits.
+func New(n int) *Vector {
+	if n < 0 {
+		n = 0
+	}
+	return &Vector{n: n, words: make([]uint64, (n+63)/64)}
+}
+
+// Len returns the vector length in bits.
+func (v *Vector) Len() int { return v.n }
+
+// Set sets bit i to 1.
+func (v *Vector) Set(i int) {
+	v.words[i>>6] |= 1 << uint(i&63)
+}
+
+// Clear sets bit i to 0.
+func (v *Vector) Clear(i int) {
+	v.words[i>>6] &^= 1 << uint(i&63)
+}
+
+// Get returns bit i.
+func (v *Vector) Get(i int) bool {
+	return v.words[i>>6]&(1<<uint(i&63)) != 0
+}
+
+// BuildRank (re)builds the rank directory; required before Rank1/Select1.
+func (v *Vector) BuildRank() {
+	v.rank = make([]int, len(v.words)+1)
+	total := 0
+	for i, w := range v.words {
+		v.rank[i] = total
+		total += bits.OnesCount64(w)
+	}
+	v.rank[len(v.words)] = total
+	v.ones = total
+}
+
+// Ones returns the number of 1-bits (after BuildRank).
+func (v *Vector) Ones() int { return v.ones }
+
+// Rank1 returns the number of 1-bits in the prefix [0, i) — rank_1(B, i)
+// in the paper's notation.
+func (v *Vector) Rank1(i int) int {
+	if i <= 0 {
+		return 0
+	}
+	if i > v.n {
+		i = v.n
+	}
+	w := i >> 6
+	r := v.rank[w]
+	if rem := uint(i & 63); rem != 0 {
+		r += bits.OnesCount64(v.words[w] & ((1 << rem) - 1))
+	}
+	return r
+}
+
+// Rank0 returns the number of 0-bits in the prefix [0, i).
+func (v *Vector) Rank0(i int) int {
+	if i <= 0 {
+		return 0
+	}
+	if i > v.n {
+		i = v.n
+	}
+	return i - v.Rank1(i)
+}
+
+// Select1 returns the position of the j-th 1-bit (1-based), or -1 if there
+// are fewer than j ones — select_1(B, j).
+func (v *Vector) Select1(j int) int {
+	if j <= 0 || j > v.ones {
+		return -1
+	}
+	// Binary search the word-level directory, then broadword select
+	// within the word.
+	lo, hi := 0, len(v.words)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if v.rank[mid+1] < j {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	within := j - v.rank[lo]
+	return lo<<6 + selectInWord(v.words[lo], within)
+}
+
+// Select0 returns the position of the j-th 0-bit (1-based), or -1.
+func (v *Vector) Select0(j int) int {
+	if j <= 0 || j > v.n-v.ones {
+		return -1
+	}
+	lo, hi := 0, len(v.words)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		zerosBefore := (mid+1)<<6 - v.rank[mid+1]
+		if zerosBefore < j {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	within := j - (lo<<6 - v.rank[lo])
+	return lo<<6 + selectInWord(^v.words[lo], within)
+}
+
+// selectInWord returns the position (0-based) of the j-th (1-based) set
+// bit in w using broadword popcount-halving.
+func selectInWord(w uint64, j int) int {
+	pos := 0
+	for shift := 32; shift > 0; shift >>= 1 {
+		low := w & ((1 << uint(shift)) - 1)
+		c := bits.OnesCount64(low)
+		if j > c {
+			j -= c
+			w >>= uint(shift)
+			pos += shift
+		} else {
+			w = low
+		}
+	}
+	return pos
+}
+
+// SizeBytes returns the in-memory footprint of the vector including its
+// rank directory.
+func (v *Vector) SizeBytes() int {
+	return 8*len(v.words) + 8*len(v.rank) + 16
+}
+
+// H0 returns the zero-order empirical entropy of the vector in bits per
+// bit: H_0(B) = -(p log p + q log q) with p the density of 1-bits.
+func (v *Vector) H0() float64 {
+	if v.n == 0 {
+		return 0
+	}
+	p := float64(v.ones) / float64(v.n)
+	return entropy(p)
+}
+
+func entropy(p float64) float64 {
+	if p <= 0 || p >= 1 {
+		return 0
+	}
+	return -(p*math.Log2(p) + (1-p)*math.Log2(1-p))
+}
+
+// CompressedSizeBound returns the paper's space bound for a compressed
+// bit array of n bits with k ones, in bits: n·H_0 ≤ k·log2(n/k) + k·log2 e
+// (the upper bound used in the Section VI example).
+func CompressedSizeBound(n, k int) float64 {
+	if k == 0 || n == 0 || k >= n {
+		return 0
+	}
+	return float64(k)*math.Log2(float64(n)/float64(k)) + float64(k)*math.Log2(math.E)
+}
+
+// Sparse is an immutable Elias–Fano-style representation of a sorted set
+// of positions in [0, n): efficient when the density of 1-bits is low, as
+// for B^sig and B^off in Section VI. It supports the same rank/select
+// operations as Vector at a fraction of the space.
+type Sparse struct {
+	n    int
+	k    int
+	lowN uint // bits per low part
+	lows *packedInts
+	high *Vector // unary-coded high parts
+}
+
+// NewSparse builds a sparse vector of length n from the strictly
+// increasing positions of its 1-bits.
+func NewSparse(n int, positions []int) (*Sparse, error) {
+	k := len(positions)
+	for i, p := range positions {
+		if p < 0 || p >= n {
+			return nil, fmt.Errorf("bitvec: position %d out of range [0,%d)", p, n)
+		}
+		if i > 0 && positions[i-1] >= p {
+			return nil, fmt.Errorf("bitvec: positions must be strictly increasing")
+		}
+	}
+	s := &Sparse{n: n, k: k}
+	if k == 0 {
+		s.lows = newPackedInts(0, 1)
+		s.high = New(1)
+		s.high.BuildRank()
+		return s, nil
+	}
+	// low bits = floor(log2(n/k)), the Elias–Fano optimum.
+	l := 0
+	for (k << uint(l+1)) <= n {
+		l++
+	}
+	s.lowN = uint(l)
+	s.lows = newPackedInts(k, l)
+	s.high = New(k + (n >> uint(l)) + 1)
+	for i, p := range positions {
+		s.lows.set(i, uint64(p)&((1<<uint(l))-1))
+		s.high.Set((p >> uint(l)) + i)
+	}
+	s.high.BuildRank()
+	return s, nil
+}
+
+// Len returns the vector length in bits.
+func (s *Sparse) Len() int { return s.n }
+
+// Ones returns the number of 1-bits.
+func (s *Sparse) Ones() int { return s.k }
+
+// Select1 returns the position of the j-th (1-based) 1-bit, or -1.
+func (s *Sparse) Select1(j int) int {
+	if j <= 0 || j > s.k {
+		return -1
+	}
+	hi := s.high.Select1(j) - (j - 1)
+	return hi<<s.lowN | int(s.lows.get(j-1))
+}
+
+// Rank1 returns the number of 1-bits before position i.
+func (s *Sparse) Rank1(i int) int {
+	if i <= 0 {
+		return 0
+	}
+	if i >= s.n {
+		return s.k
+	}
+	hi := i >> s.lowN
+	// Candidates with high part < hi are all before i; within high part
+	// == hi, compare low parts.
+	start := 0
+	if hi > 0 {
+		p := s.high.Select0(hi)
+		if p < 0 {
+			return s.k
+		}
+		start = p - hi + 1 // number of ones before the hi-th zero
+	}
+	// Walk the (small) bucket of ones sharing high part hi; ones with a
+	// larger high part have positions >= (hi+1)<<lowN > i, so the walk
+	// stops within the bucket.
+	r := start
+	for r < s.k {
+		if s.Select1(r+1) >= i {
+			break
+		}
+		r++
+	}
+	return r
+}
+
+// Get returns bit i.
+func (s *Sparse) Get(i int) bool {
+	r := s.Rank1(i + 1)
+	return r > 0 && s.Select1(r) == i
+}
+
+// SizeBytes returns the approximate in-memory footprint.
+func (s *Sparse) SizeBytes() int {
+	return s.lows.sizeBytes() + s.high.SizeBytes() + 24
+}
+
+// packedInts stores k fixed-width integers of w bits each.
+type packedInts struct {
+	w     int
+	k     int
+	words []uint64
+}
+
+func newPackedInts(k, w int) *packedInts {
+	if w < 1 {
+		w = 1
+	}
+	return &packedInts{w: w, k: k, words: make([]uint64, (k*w+63)/64+1)}
+}
+
+func (p *packedInts) set(i int, v uint64) {
+	bit := i * p.w
+	word, off := bit>>6, uint(bit&63)
+	mask := (uint64(1)<<uint(p.w) - 1)
+	v &= mask
+	p.words[word] = p.words[word]&^(mask<<off) | v<<off
+	if off+uint(p.w) > 64 {
+		spill := off + uint(p.w) - 64
+		p.words[word+1] = p.words[word+1]&^(mask>>(uint(p.w)-spill)) | v>>(uint(p.w)-spill)
+	}
+}
+
+func (p *packedInts) get(i int) uint64 {
+	bit := i * p.w
+	word, off := bit>>6, uint(bit&63)
+	mask := (uint64(1)<<uint(p.w) - 1)
+	v := p.words[word] >> off
+	if off+uint(p.w) > 64 {
+		v |= p.words[word+1] << (64 - off)
+	}
+	return v & mask
+}
+
+func (p *packedInts) sizeBytes() int { return 8*len(p.words) + 16 }

@@ -1,0 +1,390 @@
+package bitvec
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// naive reference implementations.
+func naiveRank1(bits []bool, i int) int {
+	if i > len(bits) {
+		i = len(bits)
+	}
+	r := 0
+	for j := 0; j < i; j++ {
+		if bits[j] {
+			r++
+		}
+	}
+	return r
+}
+
+func naiveSelect1(bits []bool, j int) int {
+	seen := 0
+	for i, b := range bits {
+		if b {
+			seen++
+			if seen == j {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+func naiveSelect0(bits []bool, j int) int {
+	seen := 0
+	for i, b := range bits {
+		if !b {
+			seen++
+			if seen == j {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+func randomBits(rng *rand.Rand, n int, density float64) []bool {
+	bits := make([]bool, n)
+	for i := range bits {
+		bits[i] = rng.Float64() < density
+	}
+	return bits
+}
+
+func fromBools(bits []bool) *Vector {
+	v := New(len(bits))
+	for i, b := range bits {
+		if b {
+			v.Set(i)
+		}
+	}
+	v.BuildRank()
+	return v
+}
+
+func TestVectorBasics(t *testing.T) {
+	v := New(130)
+	v.Set(0)
+	v.Set(63)
+	v.Set(64)
+	v.Set(129)
+	v.BuildRank()
+	if !v.Get(0) || !v.Get(63) || !v.Get(64) || !v.Get(129) || v.Get(1) {
+		t.Fatal("Get wrong")
+	}
+	if v.Ones() != 4 {
+		t.Fatalf("Ones = %d", v.Ones())
+	}
+	if v.Rank1(0) != 0 || v.Rank1(1) != 1 || v.Rank1(64) != 2 || v.Rank1(130) != 4 {
+		t.Fatalf("Rank1 wrong: %d %d %d %d", v.Rank1(0), v.Rank1(1), v.Rank1(64), v.Rank1(130))
+	}
+	if v.Select1(1) != 0 || v.Select1(2) != 63 || v.Select1(3) != 64 || v.Select1(4) != 129 {
+		t.Fatal("Select1 wrong")
+	}
+	if v.Select1(5) != -1 || v.Select1(0) != -1 {
+		t.Fatal("Select1 out of range should be -1")
+	}
+	v.Clear(63)
+	v.BuildRank()
+	if v.Ones() != 3 || v.Get(63) {
+		t.Fatal("Clear failed")
+	}
+}
+
+func TestVectorRankSelectExhaustive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 63, 64, 65, 127, 128, 129, 1000} {
+		for _, density := range []float64{0, 0.01, 0.5, 0.99, 1} {
+			bits := randomBits(rng, n, density)
+			v := fromBools(bits)
+			for i := 0; i <= n; i++ {
+				if got, want := v.Rank1(i), naiveRank1(bits, i); got != want {
+					t.Fatalf("n=%d d=%v Rank1(%d) = %d, want %d", n, density, i, got, want)
+				}
+			}
+			for j := 1; j <= v.Ones(); j++ {
+				if got, want := v.Select1(j), naiveSelect1(bits, j); got != want {
+					t.Fatalf("n=%d d=%v Select1(%d) = %d, want %d", n, density, j, got, want)
+				}
+			}
+			for j := 1; j <= n-v.Ones(); j++ {
+				if got, want := v.Select0(j), naiveSelect0(bits, j); got != want {
+					t.Fatalf("n=%d d=%v Select0(%d) = %d, want %d", n, density, j, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestRankSelectInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	bits := randomBits(rng, 5000, 0.3)
+	v := fromBools(bits)
+	for j := 1; j <= v.Ones(); j++ {
+		p := v.Select1(j)
+		if v.Rank1(p) != j-1 || v.Rank1(p+1) != j {
+			t.Fatalf("rank/select not inverse at j=%d p=%d", j, p)
+		}
+		if !v.Get(p) {
+			t.Fatalf("Select1 returned a zero bit at %d", p)
+		}
+	}
+}
+
+func TestRank0(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	bits := randomBits(rng, 300, 0.4)
+	v := fromBools(bits)
+	for i := 0; i <= 300; i++ {
+		if v.Rank0(i)+v.Rank1(i) != min(i, 300) {
+			t.Fatalf("Rank0+Rank1 != i at %d", i)
+		}
+	}
+}
+
+func TestH0(t *testing.T) {
+	v := New(100)
+	v.BuildRank()
+	if v.H0() != 0 {
+		t.Errorf("all-zero H0 = %v", v.H0())
+	}
+	for i := 0; i < 50; i++ {
+		v.Set(i)
+	}
+	v.BuildRank()
+	if math.Abs(v.H0()-1.0) > 1e-9 {
+		t.Errorf("half-density H0 = %v, want 1", v.H0())
+	}
+	empty := New(0)
+	empty.BuildRank()
+	if empty.H0() != 0 {
+		t.Errorf("empty H0 = %v", empty.H0())
+	}
+}
+
+func TestCompressedSizeBound(t *testing.T) {
+	// Section VI example: n = 2^28, k = 2*10^7 gives ~8*10^7 bits.
+	got := CompressedSizeBound(1<<28, 20_000_000)
+	if got < 7e7 || got > 1.1e8 {
+		t.Errorf("bound = %g, want ~8e7", got)
+	}
+	if CompressedSizeBound(100, 0) != 0 {
+		t.Error("k=0 should be 0")
+	}
+	if CompressedSizeBound(0, 0) != 0 {
+		t.Error("n=0 should be 0")
+	}
+}
+
+func TestSparseBasics(t *testing.T) {
+	positions := []int{3, 17, 64, 65, 1000, 4095}
+	s, err := NewSparse(4096, positions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 4096 || s.Ones() != len(positions) {
+		t.Fatalf("Len/Ones wrong: %d %d", s.Len(), s.Ones())
+	}
+	for j, p := range positions {
+		if got := s.Select1(j + 1); got != p {
+			t.Errorf("Select1(%d) = %d, want %d", j+1, got, p)
+		}
+	}
+	if s.Select1(0) != -1 || s.Select1(7) != -1 {
+		t.Error("out-of-range Select1 should be -1")
+	}
+	for i := 0; i < 4096; i++ {
+		want := false
+		for _, p := range positions {
+			if p == i {
+				want = true
+			}
+		}
+		if got := s.Get(i); got != want {
+			t.Fatalf("Get(%d) = %v", i, got)
+		}
+	}
+}
+
+func TestSparseEmpty(t *testing.T) {
+	s, err := NewSparse(100, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Ones() != 0 || s.Select1(1) != -1 || s.Rank1(50) != 0 || s.Get(3) {
+		t.Error("empty sparse misbehaves")
+	}
+}
+
+func TestSparseErrors(t *testing.T) {
+	if _, err := NewSparse(10, []int{5, 5}); err == nil {
+		t.Error("duplicate positions should fail")
+	}
+	if _, err := NewSparse(10, []int{5, 3}); err == nil {
+		t.Error("decreasing positions should fail")
+	}
+	if _, err := NewSparse(10, []int{10}); err == nil {
+		t.Error("out-of-range position should fail")
+	}
+	if _, err := NewSparse(10, []int{-1}); err == nil {
+		t.Error("negative position should fail")
+	}
+}
+
+func TestSparseMatchesVector(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, n := range []int{10, 100, 10000} {
+		for _, k := range []int{1, 5, n / 100, n / 10} {
+			if k <= 0 || k > n {
+				continue
+			}
+			positions := samplePositions(rng, n, k)
+			s, err := NewSparse(n, positions)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bits := make([]bool, n)
+			for _, p := range positions {
+				bits[p] = true
+			}
+			for j := 1; j <= k; j++ {
+				if got, want := s.Select1(j), naiveSelect1(bits, j); got != want {
+					t.Fatalf("n=%d k=%d Select1(%d) = %d, want %d", n, k, j, got, want)
+				}
+			}
+			for i := 0; i <= n; i += 7 {
+				if got, want := s.Rank1(i), naiveRank1(bits, i); got != want {
+					t.Fatalf("n=%d k=%d Rank1(%d) = %d, want %d", n, k, i, got, want)
+				}
+			}
+		}
+	}
+}
+
+func samplePositions(rng *rand.Rand, n, k int) []int {
+	seen := make(map[int]bool)
+	for len(seen) < k {
+		seen[rng.Intn(n)] = true
+	}
+	out := make([]int, 0, k)
+	for p := range seen {
+		out = append(out, p)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func TestSparseSavesSpaceWhenSparse(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := 1 << 20
+	k := 1000
+	positions := samplePositions(rng, n, k)
+	s, err := NewSparse(n, positions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := New(n)
+	for _, p := range positions {
+		v.Set(p)
+	}
+	v.BuildRank()
+	if s.SizeBytes()*10 > v.SizeBytes() {
+		t.Errorf("sparse %d B should be ≪ plain %d B at density %d/%d",
+			s.SizeBytes(), v.SizeBytes(), k, n)
+	}
+}
+
+func TestPackedInts(t *testing.T) {
+	for _, w := range []int{1, 3, 7, 13, 31, 33, 63, 64} {
+		p := newPackedInts(100, w)
+		rng := rand.New(rand.NewSource(int64(w)))
+		vals := make([]uint64, 100)
+		var mask uint64
+		if w == 64 {
+			mask = ^uint64(0)
+		} else {
+			mask = (1 << uint(w)) - 1
+		}
+		for i := range vals {
+			vals[i] = rng.Uint64() & mask
+			p.set(i, vals[i])
+		}
+		for i, want := range vals {
+			if got := p.get(i); got != want {
+				t.Fatalf("w=%d get(%d) = %x, want %x", w, i, got, want)
+			}
+		}
+	}
+}
+
+// Property: rank/select agree with naive implementations on random vectors.
+func TestVectorQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(500)
+		bits := randomBits(rng, n, rng.Float64())
+		v := fromBools(bits)
+		for trial := 0; trial < 20; trial++ {
+			i := rng.Intn(n + 1)
+			if v.Rank1(i) != naiveRank1(bits, i) {
+				return false
+			}
+		}
+		if o := v.Ones(); o > 0 {
+			j := 1 + rng.Intn(o)
+			if v.Select1(j) != naiveSelect1(bits, j) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: sparse select/rank agree with naive on random sparse sets.
+func TestSparseQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(5000)
+		k := rng.Intn(n / 5)
+		positions := samplePositions(rng, n, k)
+		s, err := NewSparse(n, positions)
+		if err != nil {
+			return false
+		}
+		bits := make([]bool, n)
+		for _, p := range positions {
+			bits[p] = true
+		}
+		for trial := 0; trial < 10; trial++ {
+			i := rng.Intn(n + 1)
+			if s.Rank1(i) != naiveRank1(bits, i) {
+				return false
+			}
+		}
+		if k > 0 {
+			j := 1 + rng.Intn(k)
+			if s.Select1(j) != naiveSelect1(bits, j) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,364 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"adindex/internal/corpus"
+	"adindex/internal/textnorm"
+)
+
+// Options configures an Index.
+type Options struct {
+	// MaxWords is the maximum locator length (max_words, Section IV-B):
+	// ads whose phrases contain more words are re-mapped to shorter
+	// locators, which bounds the subset enumeration performed per query.
+	// Default 10 (the value used in the paper's Section VII-C experiment).
+	MaxWords int
+
+	// MaxQueryWords is the heuristic cutoff for extremely long queries
+	// (Section IV-B): queries with more indexed words are reduced to
+	// their MaxQueryWords rarest words before subset enumeration. This
+	// can (rarely) lose matches, exactly as the paper's cutoff does.
+	// Default 12.
+	MaxQueryWords int
+
+	// MemHash is the number of bytes read per hash-table probe
+	// (mem_hash in the Section V-A cost model). Default 16.
+	MemHash int
+}
+
+func (o *Options) fillDefaults() {
+	if o.MaxWords == 0 {
+		o.MaxWords = 10
+	}
+	if o.MaxQueryWords == 0 {
+		o.MaxQueryWords = 12
+	}
+	if o.MemHash == 0 {
+		o.MemHash = 16
+	}
+}
+
+// Index is the broad-match index: hash table H from word-set hashes to
+// data nodes. It is not safe for concurrent mutation; concurrent readers
+// are safe in the absence of writers.
+type Index struct {
+	opts Options
+
+	// table is H: wordhash(locator) -> data node.
+	table map[uint64]*node
+	// locOf maps each distinct word-set key to the key of the locator
+	// whose node stores its ads (the mapping M, grouped per condition IV).
+	locOf map[string]string
+	// locWords maps locator keys back to their word slices.
+	locWords map[string][]string
+	// locRef counts distinct word sets mapped to each locator, so locator
+	// bookkeeping can be dropped in O(1) when the last set leaves.
+	locRef map[string]int
+	// setCount tracks the number of ads per distinct word set.
+	setCount map[string]int
+	// df is the per-word document frequency across indexed bids, used by
+	// query-word filtering and the locator heuristic.
+	df map[string]int
+
+	numAds int
+}
+
+// New builds an index over ads with the default mapping: every ad is
+// stored at its own word set, except that phrases longer than MaxWords are
+// re-mapped to shorter locators by the local heuristic (long-phrase
+// re-mapping only; use NewWithMapping for workload-optimized mappings).
+func New(ads []corpus.Ad, opts Options) *Index {
+	ix := newEmpty(opts)
+	// Two passes: document frequencies first, so the locator heuristic
+	// for long phrases can pick globally rare words deterministically.
+	for i := range ads {
+		for _, w := range ads[i].Words {
+			ix.df[w]++
+		}
+	}
+	for i := range ads {
+		ix.place(ads[i], nil)
+	}
+	return ix
+}
+
+// NewWithMapping builds an index with an explicit mapping from word-set
+// keys (textnorm.SetKey of words(A)) to locator word sets. Sets absent
+// from the mapping default to the same placement as New. The mapping must
+// satisfy the validity conditions of Section V-A: each locator must be a
+// subset of the mapped word set and at most MaxWords long.
+func NewWithMapping(ads []corpus.Ad, mapping map[string][]string, opts Options) (*Index, error) {
+	ix := newEmpty(opts)
+	for i := range ads {
+		for _, w := range ads[i].Words {
+			ix.df[w]++
+		}
+	}
+	for i := range ads {
+		key := ads[i].SetKey()
+		loc, ok := mapping[key]
+		if !ok {
+			ix.place(ads[i], nil)
+			continue
+		}
+		if len(loc) > ix.opts.MaxWords {
+			return nil, fmt.Errorf("core: locator %v for set %q exceeds MaxWords=%d",
+				loc, key, ix.opts.MaxWords)
+		}
+		if !textnorm.IsSubset(loc, ads[i].Words) {
+			return nil, fmt.Errorf("core: locator %v is not a subset of words %v",
+				loc, ads[i].Words)
+		}
+		if len(loc) == 0 {
+			return nil, fmt.Errorf("core: empty locator for set %q", key)
+		}
+		ix.place(ads[i], loc)
+	}
+	return ix, nil
+}
+
+func newEmpty(opts Options) *Index {
+	opts.fillDefaults()
+	return &Index{
+		opts:     opts,
+		table:    make(map[uint64]*node),
+		locOf:    make(map[string]string),
+		locWords: make(map[string][]string),
+		locRef:   make(map[string]int),
+		setCount: make(map[string]int),
+		df:       make(map[string]int),
+	}
+}
+
+// Options returns the index configuration.
+func (ix *Index) Options() Options { return ix.opts }
+
+// NumAds returns the number of indexed advertisements.
+func (ix *Index) NumAds() int { return ix.numAds }
+
+// NumNodes returns the number of data nodes (entries in H).
+func (ix *Index) NumNodes() int { return len(ix.table) }
+
+// NumDistinctSets returns the number of distinct indexed word sets.
+func (ix *Index) NumDistinctSets() int { return len(ix.setCount) }
+
+// place stores ad at the given locator, or at the one chosen by the
+// grouping rule / local heuristic when loc is nil.
+func (ix *Index) place(ad corpus.Ad, loc []string) {
+	key := setKey(ad.Words)
+	if existing, ok := ix.locOf[key]; ok {
+		// Condition IV: all ads sharing a word set go to the same node.
+		ix.addToLocator(ad, existing)
+		ix.setCount[key]++
+		ix.numAds++
+		return
+	}
+	if loc == nil {
+		loc = ix.chooseLocator(ad.Words)
+	}
+	locKey := setKey(loc)
+	if _, ok := ix.locWords[locKey]; !ok {
+		locCopy := make([]string, len(loc))
+		copy(locCopy, loc)
+		ix.locWords[locKey] = locCopy
+	}
+	ix.locOf[key] = locKey
+	ix.locRef[locKey]++
+	ix.addToLocator(ad, locKey)
+	ix.setCount[key] = 1
+	ix.numAds++
+}
+
+func (ix *Index) addToLocator(ad corpus.Ad, locKey string) {
+	h := WordHash(ix.locWords[locKey])
+	n := ix.table[h]
+	if n == nil {
+		n = &node{}
+		ix.table[h] = n
+	}
+	n.insert(ad)
+}
+
+// chooseLocator implements the fast local heuristic of Section VI: short
+// word sets locate at themselves; long word sets are re-mapped to their
+// MaxWords rarest words (rare words give the locator maximal selectivity,
+// so the node attracts few unrelated co-accesses).
+func (ix *Index) chooseLocator(words []string) []string {
+	if len(words) <= ix.opts.MaxWords {
+		return words
+	}
+	byRarity := make([]string, len(words))
+	copy(byRarity, words)
+	sort.SliceStable(byRarity, func(i, j int) bool {
+		di, dj := ix.df[byRarity[i]], ix.df[byRarity[j]]
+		if di != dj {
+			return di < dj
+		}
+		return byRarity[i] < byRarity[j]
+	})
+	return textnorm.CanonicalSet(byRarity[:ix.opts.MaxWords])
+}
+
+// Insert adds an advertisement online. Document frequencies and, for new
+// long phrases, the locator heuristic are updated incrementally; the
+// globally optimized mapping is not recomputed (Section VI recommends
+// periodic re-optimization instead).
+func (ix *Index) Insert(ad corpus.Ad) {
+	for _, w := range ad.Words {
+		ix.df[w]++
+	}
+	ix.place(ad, nil)
+}
+
+// Delete removes the advertisement with the given ID and phrase. It
+// reports whether the ad was found. As Section VI notes, deletion must
+// locate the node the ad was re-mapped to; locOf makes that a single
+// lookup here.
+func (ix *Index) Delete(id uint64, phrase string) bool {
+	words := textnorm.WordSet(phrase)
+	key := setKey(words)
+	locKey, ok := ix.locOf[key]
+	if !ok {
+		return false
+	}
+	h := WordHash(ix.locWords[locKey])
+	n := ix.table[h]
+	if n == nil || !n.remove(id, key) {
+		return false
+	}
+	ix.numAds--
+	for _, w := range words {
+		if ix.df[w]--; ix.df[w] == 0 {
+			delete(ix.df, w)
+		}
+	}
+	if ix.setCount[key]--; ix.setCount[key] == 0 {
+		delete(ix.setCount, key)
+		delete(ix.locOf, key)
+		if ix.locRef[locKey]--; ix.locRef[locKey] == 0 {
+			delete(ix.locRef, locKey)
+			delete(ix.locWords, locKey)
+		}
+	}
+	if len(n.records) == 0 {
+		delete(ix.table, h)
+	}
+	return true
+}
+
+// Mapping returns a copy of the current mapping from word-set keys to
+// locator word sets (M in the paper), for inspection and re-optimization.
+func (ix *Index) Mapping() map[string][]string {
+	out := make(map[string][]string, len(ix.locOf))
+	for key, locKey := range ix.locOf {
+		out[key] = ix.locWords[locKey]
+	}
+	return out
+}
+
+// Ads returns a copy of all indexed advertisements (in node order). It is
+// primarily used to rebuild an index under a new mapping.
+func (ix *Index) Ads() []corpus.Ad {
+	out := make([]corpus.Ad, 0, ix.numAds)
+	for _, n := range ix.table {
+		out = append(out, n.records...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Stats summarizes the physical structure of the index.
+type Stats struct {
+	NumAds       int
+	NumNodes     int
+	DistinctSets int
+	NodeBytes    int     // total data-node payload bytes
+	MaxNodeAds   int     // largest node, in records
+	AvgNodeAds   float64 // mean records per node
+	AvgNodeBytes float64 // mean payload bytes per node
+}
+
+// Stats computes summary statistics.
+func (ix *Index) Stats() Stats {
+	s := Stats{NumAds: ix.numAds, NumNodes: len(ix.table), DistinctSets: len(ix.setCount)}
+	for _, n := range ix.table {
+		s.NodeBytes += n.bytes
+		if len(n.records) > s.MaxNodeAds {
+			s.MaxNodeAds = len(n.records)
+		}
+	}
+	if s.NumNodes > 0 {
+		s.AvgNodeAds = float64(s.NumAds) / float64(s.NumNodes)
+		s.AvgNodeBytes = float64(s.NodeBytes) / float64(s.NumNodes)
+	}
+	return s
+}
+
+// CheckInvariants validates the structural invariants of the index:
+// node ordering, locator subset validity, condition IV co-location, and
+// counter consistency. Used by tests and by maintenance tooling.
+func (ix *Index) CheckInvariants() error {
+	count := 0
+	for h, n := range ix.table {
+		if len(n.records) == 0 {
+			return fmt.Errorf("core: empty node at hash %x", h)
+		}
+		if !n.checkOrdered() {
+			return fmt.Errorf("core: node %x records out of order", h)
+		}
+		bytes := 0
+		for i := range n.records {
+			bytes += n.records[i].Size()
+		}
+		if bytes != n.bytes {
+			return fmt.Errorf("core: node %x byte count %d != recomputed %d", h, n.bytes, bytes)
+		}
+		count += len(n.records)
+	}
+	if count != ix.numAds {
+		return fmt.Errorf("core: record count %d != numAds %d", count, ix.numAds)
+	}
+	refs := make(map[string]int, len(ix.locWords))
+	for _, locKey := range ix.locOf {
+		refs[locKey]++
+	}
+	if len(refs) != len(ix.locRef) {
+		return fmt.Errorf("core: locRef tracks %d locators, locOf references %d", len(ix.locRef), len(refs))
+	}
+	for locKey, want := range refs {
+		if got := ix.locRef[locKey]; got != want {
+			return fmt.Errorf("core: locRef[%q] = %d, want %d", locKey, got, want)
+		}
+	}
+	for key, locKey := range ix.locOf {
+		loc, ok := ix.locWords[locKey]
+		if !ok {
+			return fmt.Errorf("core: locator %q missing from locWords", locKey)
+		}
+		words := textnorm.SplitKey(key)
+		if !textnorm.IsSubset(loc, words) {
+			return fmt.Errorf("core: locator %v not a subset of set %v", loc, words)
+		}
+		if len(loc) > ix.opts.MaxWords {
+			return fmt.Errorf("core: locator %v longer than MaxWords=%d", loc, ix.opts.MaxWords)
+		}
+		// Every ad of this set must live in the locator's node.
+		n := ix.table[WordHash(loc)]
+		if n == nil {
+			return fmt.Errorf("core: no node for locator %v", loc)
+		}
+		found := 0
+		for i := range n.records {
+			if n.records[i].SetKey() == key {
+				found++
+			}
+		}
+		if found != ix.setCount[key] {
+			return fmt.Errorf("core: set %q has %d records at its node, setCount says %d",
+				key, found, ix.setCount[key])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"sort"
+
+	"adindex/internal/corpus"
+)
+
+// node is a data node (Figure 4): the variable-length record holding every
+// advertisement mapped to one hash key. Records are kept ordered by the
+// number of words in their phrases, so query processing can stop scanning
+// as soon as it encounters a phrase longer than the query (Section V-A).
+//
+// Because distinct word sets can collide under WordHash, and because
+// re-mapping deliberately co-locates different word sets, a node may hold
+// records from several locators; each record carries its exact word set.
+type node struct {
+	// records, ordered by (len(Words), set key, ID). Grouping by set key
+	// within a length class keeps all ads of one word set contiguous
+	// (mapping condition IV), which the optimizer relies on.
+	records []corpus.Ad
+	// bytes is the cached total of record sizes, used by the cost model.
+	bytes int
+}
+
+// insert adds ad keeping the order invariant.
+func (n *node) insert(ad corpus.Ad) {
+	i := sort.Search(len(n.records), func(i int) bool {
+		return !recordLess(&n.records[i], &ad)
+	})
+	n.records = append(n.records, corpus.Ad{})
+	copy(n.records[i+1:], n.records[i:])
+	n.records[i] = ad
+	n.bytes += ad.Size()
+}
+
+// remove deletes the record with the given ID and set key; it reports
+// whether a record was removed.
+func (n *node) remove(id uint64, key string) bool {
+	for i := range n.records {
+		if n.records[i].ID == id && n.records[i].SetKey() == key {
+			n.bytes -= n.records[i].Size()
+			n.records = append(n.records[:i], n.records[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// recordLess orders records by word count, then set key, then ID.
+func recordLess(a, b *corpus.Ad) bool {
+	if la, lb := len(a.Words), len(b.Words); la != lb {
+		return la < lb
+	}
+	ka, kb := a.SetKey(), b.SetKey()
+	if ka != kb {
+		return ka < kb
+	}
+	return a.ID < b.ID
+}
+
+// checkOrdered verifies the node's order invariant (used by tests and
+// integrity checks).
+func (n *node) checkOrdered() bool {
+	for i := 1; i < len(n.records); i++ {
+		if recordLess(&n.records[i], &n.records[i-1]) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,303 @@
+package core
+
+import (
+	"slices"
+	"sort"
+
+	"adindex/internal/corpus"
+	"adindex/internal/costmodel"
+	"adindex/internal/textnorm"
+)
+
+// byID orders match results by advertisement ID.
+func byID(a, b *corpus.Ad) int {
+	switch {
+	case a.ID < b.ID:
+		return -1
+	case a.ID > b.ID:
+		return 1
+	}
+	return 0
+}
+
+// BroadMatch returns every indexed ad whose word set is a subset of the
+// query's word set (Section III-A semantics). queryWords must be canonical
+// (use textnorm.WordSet on raw text). Results are ordered by ad ID. The
+// returned pointers reference index-internal storage and remain valid only
+// until the next mutation.
+//
+// counters, when non-nil, accumulates the memory-access accounting of this
+// query under the Section IV-A cost model.
+func (ix *Index) BroadMatch(queryWords []string, counters *costmodel.Counters) []*corpus.Ad {
+	q := ix.prepareQuery(queryWords)
+	if len(q) == 0 {
+		if counters != nil {
+			counters.Queries++
+		}
+		return nil
+	}
+	var matches []*corpus.Ad
+	ix.forEachCandidateNode(q, counters, func(n *node) {
+		matches = ix.scanNode(n, q, counters, matches)
+	})
+	slices.SortFunc(matches, byID)
+	if counters != nil {
+		counters.Queries++
+		counters.Matches += int64(len(matches))
+	}
+	return matches
+}
+
+// BroadMatchText is BroadMatch on raw query text.
+func (ix *Index) BroadMatchText(query string, counters *costmodel.Counters) []*corpus.Ad {
+	return ix.BroadMatch(textnorm.WordSet(query), counters)
+}
+
+// ExactMatch returns ads whose bid phrase equals the query as a token
+// sequence (after normalization and duplicate folding). It requires a
+// single hash lookup: the node of the query's own word set.
+func (ix *Index) ExactMatch(query string, counters *costmodel.Counters) []*corpus.Ad {
+	qTokens := textnorm.FoldDuplicates(textnorm.Tokenize(query))
+	qset := textnorm.CanonicalSet(qTokens)
+	if counters != nil {
+		counters.Queries++
+	}
+	if len(qset) == 0 {
+		return nil
+	}
+	key := setKey(qset)
+	locKey, ok := ix.lookupLocator(key, counters)
+	if !ok {
+		return nil
+	}
+	n := ix.table[WordHash(ix.locWords[locKey])]
+	if n == nil {
+		return nil
+	}
+	var matches []*corpus.Ad
+	if counters != nil {
+		counters.RandomAccesses++
+		counters.NodesVisited++
+	}
+	for i := range n.records {
+		rec := &n.records[i]
+		if len(rec.Words) > len(qset) {
+			break
+		}
+		if counters != nil {
+			counters.PhrasesChecked++
+			counters.BytesScanned += int64(rec.Size())
+		}
+		if rec.SetKey() != key {
+			continue
+		}
+		pTokens := textnorm.FoldDuplicates(textnorm.Tokenize(rec.Phrase))
+		if tokensEqual(pTokens, qTokens) {
+			matches = append(matches, rec)
+		}
+	}
+	slices.SortFunc(matches, byID)
+	if counters != nil {
+		counters.Matches += int64(len(matches))
+	}
+	return matches
+}
+
+// PhraseMatch returns ads whose bid phrase occurs in the query as a
+// contiguous, ordered token subsequence. Candidate retrieval reuses the
+// broad-match lookups (a contiguously occurring phrase's word set is a
+// subset of the query's); only the node-side matching logic differs, as
+// Section III-B describes.
+func (ix *Index) PhraseMatch(query string, counters *costmodel.Counters) []*corpus.Ad {
+	qTokens := textnorm.Tokenize(query)
+	q := ix.prepareQuery(textnorm.CanonicalSet(textnorm.FoldDuplicates(qTokens)))
+	if counters != nil {
+		counters.Queries++
+	}
+	if len(q) == 0 {
+		return nil
+	}
+	var matches []*corpus.Ad
+	ix.forEachCandidateNode(q, counters, func(n *node) {
+		for i := range n.records {
+			rec := &n.records[i]
+			if len(rec.Words) > len(q) {
+				break
+			}
+			if counters != nil {
+				counters.PhrasesChecked++
+				counters.BytesScanned += int64(rec.Size())
+			}
+			if !textnorm.IsSubset(rec.Words, q) {
+				continue
+			}
+			if containsContiguous(qTokens, textnorm.Tokenize(rec.Phrase)) {
+				matches = append(matches, rec)
+			}
+		}
+	})
+	slices.SortFunc(matches, byID)
+	if counters != nil {
+		counters.Matches += int64(len(matches))
+	}
+	return matches
+}
+
+// lookupLocator resolves a set key to its locator key, charging one hash
+// probe. (locOf lookups model the same H access as subset probes.)
+func (ix *Index) lookupLocator(key string, counters *costmodel.Counters) (string, bool) {
+	if counters != nil {
+		counters.HashProbes++
+		counters.RandomAccesses++
+		counters.BytesScanned += int64(ix.opts.MemHash)
+	}
+	locKey, ok := ix.locOf[key]
+	return locKey, ok
+}
+
+// prepareQuery canonicalizes the query for subset enumeration: words not
+// present in any indexed bid are dropped (this cannot change the result,
+// since every match's words are indexed), and over-long queries are cut to
+// their MaxQueryWords rarest indexed words (the Section IV-B heuristic
+// cutoff, which may lose matches on extreme queries).
+func (ix *Index) prepareQuery(queryWords []string) []string {
+	q := make([]string, 0, len(queryWords))
+	for _, w := range queryWords {
+		if ix.df[w] > 0 {
+			q = append(q, w)
+		}
+	}
+	if len(q) > ix.opts.MaxQueryWords {
+		sort.SliceStable(q, func(i, j int) bool {
+			di, dj := ix.df[q[i]], ix.df[q[j]]
+			if di != dj {
+				return di < dj
+			}
+			return q[i] < q[j]
+		})
+		q = textnorm.CanonicalSet(q[:ix.opts.MaxQueryWords])
+	}
+	return q
+}
+
+// forEachCandidateNode enumerates all non-empty subsets of q up to
+// MaxWords words (the bound established by long-phrase re-mapping), probes
+// H for each, and invokes visit once per distinct data node found. The
+// subset hash is computed incrementally during enumeration, so no subset
+// slice is ever materialized.
+func (ix *Index) forEachCandidateNode(q []string, counters *costmodel.Counters, visit func(*node)) {
+	k := ix.opts.MaxWords
+	if k > len(q) {
+		k = len(q)
+	}
+	// visited guards against WordHash collisions between two enumerated
+	// subsets mapping to the same node (would duplicate results) and
+	// against re-mapped nodes reachable via multiple subset locators. The
+	// hit count per query is small, so a linear scan over a stack-backed
+	// slice avoids a per-query map allocation in the hot path.
+	var visitedArr [24]*node
+	visited := visitedArr[:0]
+	var rec func(start int, h uint64, size int)
+	rec = func(start int, h uint64, size int) {
+		for i := start; i < len(q); i++ {
+			nh := hashExtend(h, size == 0, q[i])
+			if counters != nil {
+				counters.HashProbes++
+				counters.RandomAccesses++
+				counters.BytesScanned += int64(ix.opts.MemHash)
+			}
+			if n := ix.table[nh]; n != nil {
+				dup := false
+				for _, vn := range visited {
+					if vn == n {
+						dup = true
+						break
+					}
+				}
+				if !dup {
+					visited = append(visited, n)
+					if counters != nil {
+						counters.RandomAccesses++
+						counters.NodesVisited++
+					}
+					visit(n)
+				}
+			}
+			if size+1 < k {
+				rec(i+1, nh, size+1)
+			}
+		}
+	}
+	rec(0, fnvOffset64, 0)
+}
+
+// scanNode appends all records of n that broad-match q. Records are
+// ordered by word count, so the scan stops at the first record longer than
+// the query; per the Equation (2) cost model, every examined record is
+// charged its full size.
+func (ix *Index) scanNode(n *node, q []string, counters *costmodel.Counters, matches []*corpus.Ad) []*corpus.Ad {
+	for i := range n.records {
+		rec := &n.records[i]
+		if len(rec.Words) > len(q) {
+			break
+		}
+		if counters != nil {
+			counters.PhrasesChecked++
+			counters.BytesScanned += int64(rec.Size())
+		}
+		if textnorm.IsSubset(rec.Words, q) {
+			matches = append(matches, rec)
+		}
+	}
+	return matches
+}
+
+// LookupsForQueryLength returns the number of hash probes a query with n
+// indexed words incurs: min(2^n - 1, sum_{i=1..max_words} C(n, i)), the
+// bound from Section IV-B.
+func (ix *Index) LookupsForQueryLength(n int) int {
+	if n > ix.opts.MaxQueryWords {
+		n = ix.opts.MaxQueryWords
+	}
+	k := ix.opts.MaxWords
+	if k > n {
+		k = n
+	}
+	total := 0
+	c := 1
+	for i := 1; i <= k; i++ {
+		c = c * (n - i + 1) / i
+		total += c
+	}
+	return total
+}
+
+func tokensEqual(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// containsContiguous reports whether needle occurs in haystack as a
+// contiguous subsequence.
+func containsContiguous(haystack, needle []string) bool {
+	if len(needle) == 0 || len(needle) > len(haystack) {
+		return len(needle) == 0
+	}
+outer:
+	for i := 0; i+len(needle) <= len(haystack); i++ {
+		for j := range needle {
+			if haystack[i+j] != needle[j] {
+				continue outer
+			}
+		}
+		return true
+	}
+	return false
+}

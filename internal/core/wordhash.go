@@ -1,0 +1,74 @@
+// Package core implements the paper's primary contribution: a hash-based
+// index for broad-match ad retrieval (Sections III–V).
+//
+// Word sets are indexed in a hash table H keyed by wordhash(words(A)); each
+// table slot points to a variable-length *data node* holding every ad
+// mapped there, ordered by phrase word count so that scans terminate early
+// once phrases grow longer than the query. Broad-match queries enumerate
+// the subsets of the query's word set (bounded by max_words, Section IV-B)
+// and visit the corresponding nodes.
+//
+// Ads may be *re-mapped* to nodes keyed by subsets of their word sets
+// without changing any broad-match result (Section IV-B); the index accepts
+// an explicit mapping computed by internal/optimize and also applies a fast
+// local heuristic for online inserts (Section VI).
+package core
+
+import "adindex/internal/textnorm"
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// WordHash returns the order-independent hash of a canonical (sorted,
+// deduplicated) word set: FNV-1a over the words joined by a separator that
+// cannot occur inside tokens. This is the wordhash function of Section
+// III-B; distinct sets may collide, which is why data nodes retain the
+// phrases themselves.
+func WordHash(words []string) uint64 {
+	h := uint64(fnvOffset64)
+	for i, w := range words {
+		if i > 0 {
+			h ^= 0x1f
+			h *= fnvPrime64
+		}
+		for j := 0; j < len(w); j++ {
+			h ^= uint64(w[j])
+			h *= fnvPrime64
+		}
+	}
+	return h
+}
+
+// HashSeed is the initial streaming state for ExtendHash.
+const HashSeed = uint64(fnvOffset64)
+
+// ExtendHash folds one more word into a streaming WordHash state:
+// ExtendHash(ExtendHash(HashSeed, true, a), false, b) == WordHash([a, b]).
+// It lets subset enumeration hash incrementally without materializing
+// subsets; internal/hashindex shares it so both structures agree
+// bit-for-bit.
+func ExtendHash(h uint64, first bool, w string) uint64 {
+	return hashExtend(h, first, w)
+}
+
+// hashExtend folds one more word (preceded by a separator when the running
+// hash already covers at least one word) into a streaming FNV-1a state.
+// hashExtend(hashExtend(seed, a), b) == WordHash([a, b]) when seed is the
+// initial state, which lets subset enumeration hash incrementally.
+func hashExtend(h uint64, first bool, w string) uint64 {
+	if !first {
+		h ^= 0x1f
+		h *= fnvPrime64
+	}
+	for j := 0; j < len(w); j++ {
+		h ^= uint64(w[j])
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// setKey returns the canonical string key of a word set (for exact
+// grouping, as opposed to the lossy WordHash).
+func setKey(words []string) string { return textnorm.SetKey(words) }

@@ -1,0 +1,317 @@
+package corpus
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func testCorpus(t testing.TB, n int) *Corpus {
+	t.Helper()
+	return Generate(GenOptions{NumAds: n, Seed: 42})
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(GenOptions{NumAds: 500, Seed: 7})
+	b := Generate(GenOptions{NumAds: 500, Seed: 7})
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different corpora")
+	}
+	c := Generate(GenOptions{NumAds: 500, Seed: 8})
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical corpora")
+	}
+}
+
+func TestGenerateCount(t *testing.T) {
+	for _, n := range []int{0, 1, 10, 1000} {
+		c := Generate(GenOptions{NumAds: n, Seed: 1})
+		if c.NumAds() != n {
+			t.Errorf("NumAds = %d, want %d", c.NumAds(), n)
+		}
+	}
+}
+
+func TestAdWordsCanonical(t *testing.T) {
+	c := testCorpus(t, 2000)
+	for i := range c.Ads {
+		a := &c.Ads[i]
+		if len(a.Words) == 0 {
+			t.Fatalf("ad %d has empty word set (phrase %q)", a.ID, a.Phrase)
+		}
+		for j := 1; j < len(a.Words); j++ {
+			if a.Words[j] <= a.Words[j-1] {
+				t.Fatalf("ad %d words not strictly sorted: %v", a.ID, a.Words)
+			}
+		}
+	}
+}
+
+// Figure 1: the generated length distribution must match the paper's
+// calibration points: peak at 3 words, ~62% <=3, ~96% <=5, ~99.8% <=8.
+func TestFigure1LengthCalibration(t *testing.T) {
+	c := testCorpus(t, 50000)
+	cum := c.CumulativeLengthShare()
+	h := c.LengthHistogram()
+
+	peak := 0
+	for l := 1; l < len(h); l++ {
+		if h[l] > h[peak] {
+			peak = l
+		}
+	}
+	if peak != 3 {
+		t.Errorf("length mode = %d, want 3", peak)
+	}
+	checks := []struct {
+		length int
+		want   float64
+		tol    float64
+	}{
+		{3, 0.62, 0.03},
+		{5, 0.96, 0.02},
+		{8, 0.998, 0.005},
+	}
+	for _, ck := range checks {
+		if ck.length >= len(cum) {
+			t.Fatalf("no bids with %d words generated", ck.length)
+		}
+		got := cum[ck.length]
+		if math.Abs(got-ck.want) > ck.tol {
+			t.Errorf("share of bids with <=%d words = %.4f, want %.4f ± %.3f",
+				ck.length, got, ck.want, ck.tol)
+		}
+	}
+}
+
+// Figure 2: ads-per-word-set must exhibit a long tail: the most common set
+// covers many ads, while the majority of sets have a single ad.
+func TestFigure2LongTail(t *testing.T) {
+	c := testCorpus(t, 30000)
+	freqs := c.SetFrequencies()
+	if len(freqs) < 100 {
+		t.Fatalf("too few distinct sets: %d", len(freqs))
+	}
+	if freqs[0] < 10 {
+		t.Errorf("top set frequency = %d, expected a heavy head (>=10)", freqs[0])
+	}
+	singles := 0
+	for _, f := range freqs {
+		if f == 1 {
+			singles++
+		}
+	}
+	if share := float64(singles) / float64(len(freqs)); share < 0.4 {
+		t.Errorf("singleton-set share = %.2f, expected a long tail (>=0.4)", share)
+	}
+	// Approximate power law: log-log slope between head and mid ranks
+	// should be clearly negative.
+	mid := len(freqs) / 4
+	if freqs[mid] >= freqs[0] {
+		t.Errorf("frequencies not decreasing: f[0]=%d f[%d]=%d", freqs[0], mid, freqs[mid])
+	}
+}
+
+// Figure 7: keyword frequencies must be far more skewed than word-set
+// frequencies — the paper's root cause for inverted-index inefficiency.
+func TestFigure7KeywordSkewExceedsSetSkew(t *testing.T) {
+	c := testCorpus(t, 30000)
+	wf := c.WordFrequencies()
+	sf := c.SetFrequencies()
+	if wf[0] <= sf[0]*5 {
+		t.Errorf("top keyword freq %d not ≫ top set freq %d", wf[0], sf[0])
+	}
+}
+
+func TestGenerateMTRulesSlowerFalloff(t *testing.T) {
+	mt := GenerateMTRules(30000, 3)
+	ads := testCorpus(t, 30000)
+	mtCum := mt.CumulativeLengthShare()
+	adCum := ads.CumulativeLengthShare()
+	// Both peak at 3; the MT distribution must have strictly more mass in
+	// long phrases, i.e. lower cumulative share at length 3 and 5.
+	if mtCum[3] >= adCum[3] {
+		t.Errorf("MT cum@3 %.3f should be < bids cum@3 %.3f", mtCum[3], adCum[3])
+	}
+	if mtCum[5] >= adCum[5] {
+		t.Errorf("MT cum@5 %.3f should be < bids cum@5 %.3f", mtCum[5], adCum[5])
+	}
+}
+
+func TestVocabularyDistinct(t *testing.T) {
+	for _, n := range []int{1, 100, 5000, 50000} {
+		v := MakeVocabulary(n)
+		if len(v) != n {
+			t.Fatalf("MakeVocabulary(%d) returned %d words", n, len(v))
+		}
+		seen := make(map[string]bool, n)
+		for _, w := range v {
+			if w == "" {
+				t.Fatalf("empty word in vocabulary(%d)", n)
+			}
+			if seen[w] {
+				t.Fatalf("duplicate word %q in vocabulary(%d)", w, n)
+			}
+			seen[w] = true
+		}
+	}
+}
+
+func TestSizes(t *testing.T) {
+	a := NewAd(1, "cheap used books", Meta{BidMicros: 100, Exclusions: []string{"free"}})
+	if got, want := a.PhraseSize(), len("cheap used books")+2; got != want {
+		t.Errorf("PhraseSize = %d, want %d", got, want)
+	}
+	if got, want := a.MetaSize(), 22+len("free")+1; got != want {
+		t.Errorf("MetaSize = %d, want %d", got, want)
+	}
+	if a.Size() != a.PhraseSize()+a.MetaSize() {
+		t.Errorf("Size mismatch")
+	}
+}
+
+func TestDistinctSetsAndVocabulary(t *testing.T) {
+	c := &Corpus{Ads: []Ad{
+		NewAd(1, "a b", Meta{}),
+		NewAd(2, "b a", Meta{}),
+		NewAd(3, "a c", Meta{}),
+	}}
+	if got := c.DistinctSets(); got != 2 {
+		t.Errorf("DistinctSets = %d, want 2", got)
+	}
+	if got := c.Vocabulary(); !reflect.DeepEqual(got, []string{"a", "b", "c"}) {
+		t.Errorf("Vocabulary = %v", got)
+	}
+}
+
+func TestWordCounts(t *testing.T) {
+	c := &Corpus{Ads: []Ad{
+		NewAd(1, "a b", Meta{}),
+		NewAd(2, "a c", Meta{}),
+		NewAd(3, "a", Meta{}),
+	}}
+	wc := c.WordCounts()
+	if wc["a"] != 3 || wc["b"] != 1 || wc["c"] != 1 {
+		t.Errorf("WordCounts = %v", wc)
+	}
+}
+
+func TestIORoundTrip(t *testing.T) {
+	c := Generate(GenOptions{NumAds: 300, Seed: 11})
+	var buf bytes.Buffer
+	if err := c.Write(&buf); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if len(back.Ads) != len(c.Ads) {
+		t.Fatalf("round trip lost ads: %d vs %d", len(back.Ads), len(c.Ads))
+	}
+	for i := range c.Ads {
+		a, b := c.Ads[i], back.Ads[i]
+		if a.ID != b.ID || a.Phrase != b.Phrase || a.Meta.BidMicros != b.Meta.BidMicros ||
+			a.Meta.CampaignID != b.Meta.CampaignID || a.Meta.ClickRate != b.Meta.ClickRate ||
+			!reflect.DeepEqual(a.Meta.Exclusions, b.Meta.Exclusions) {
+			t.Fatalf("ad %d differs after round trip:\n%+v\n%+v", i, a, b)
+		}
+		if !reflect.DeepEqual(a.Words, b.Words) {
+			t.Fatalf("ad %d words differ: %v vs %v", i, a.Words, b.Words)
+		}
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	bad := []string{
+		"not enough fields\n",
+		"x\t1\t2\t3\t\tphrase\n",     // bad id
+		"1\tx\t2\t3\t\tphrase\n",     // bad campaign
+		"1\t2\tx\t3\t\tphrase\n",     // bad bid
+		"1\t2\t3\tx\t\tphrase\n",     // bad ctr
+		"1\t2\t3\t70000\t\tphrase\n", // ctr overflow
+		"1\t2\t3\t4\n",               // too few fields
+	}
+	for _, s := range bad {
+		if _, err := Read(bytes.NewBufferString(s)); err == nil {
+			t.Errorf("Read(%q) should fail", s)
+		}
+	}
+	// Blank lines are tolerated.
+	c, err := Read(bytes.NewBufferString("\n1\t2\t3\t4\t\tok phrase\n\n"))
+	if err != nil {
+		t.Fatalf("Read with blank lines: %v", err)
+	}
+	if len(c.Ads) != 1 {
+		t.Fatalf("expected 1 ad, got %d", len(c.Ads))
+	}
+}
+
+func TestSamplerMatchesDistribution(t *testing.T) {
+	probs := []float64{0.5, 0.3, 0.2}
+	s := newSampler(probs)
+	rng := rand.New(rand.NewSource(1))
+	counts := make([]int, len(probs))
+	const n = 200000
+	for i := 0; i < n; i++ {
+		counts[s.sample(rng)]++
+	}
+	for i, p := range probs {
+		got := float64(counts[i]) / n
+		if math.Abs(got-p) > 0.01 {
+			t.Errorf("sampler bucket %d: got %.3f want %.3f", i, got, p)
+		}
+	}
+}
+
+func TestSamplerUnnormalized(t *testing.T) {
+	// Distributions that do not sum to 1 are normalized.
+	s := newSampler([]float64{2, 2})
+	rng := rand.New(rand.NewSource(2))
+	counts := [2]int{}
+	for i := 0; i < 10000; i++ {
+		counts[s.sample(rng)]++
+	}
+	if counts[0] == 0 || counts[1] == 0 {
+		t.Errorf("unnormalized sampler degenerate: %v", counts)
+	}
+}
+
+// Property: every sampled index is within range for random distributions.
+func TestSamplerRangeQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(10)
+		probs := make([]float64, n)
+		for i := range probs {
+			probs[i] = rng.Float64() + 0.01
+		}
+		s := newSampler(probs)
+		for i := 0; i < 100; i++ {
+			idx := s.sample(rng)
+			if idx < 0 || idx >= n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: generated ads always have phrases whose re-normalization equals
+// the stored canonical word set.
+func TestAdNormalizationConsistentQuick(t *testing.T) {
+	c := testCorpus(t, 1000)
+	for i := range c.Ads {
+		a := &c.Ads[i]
+		re := NewAd(a.ID, a.Phrase, a.Meta)
+		if !reflect.DeepEqual(re.Words, a.Words) {
+			t.Fatalf("ad %d: stored words %v != recomputed %v", a.ID, a.Words, re.Words)
+		}
+	}
+}

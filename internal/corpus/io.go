@@ -1,0 +1,75 @@
+package corpus
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The on-disk corpus format is line-oriented text, one ad per line:
+//
+//	id<TAB>campaign<TAB>bidMicros<TAB>clickRate<TAB>exclusions(comma)<TAB>phrase
+//
+// Human-inspectable, diff-friendly, and trivially streamable; used by
+// cmd/adgen and the examples.
+
+// Write serializes the corpus to w in the text format.
+func (c *Corpus) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for i := range c.Ads {
+		a := &c.Ads[i]
+		excl := strings.Join(a.Meta.Exclusions, ",")
+		if _, err := fmt.Fprintf(bw, "%d\t%d\t%d\t%d\t%s\t%s\n",
+			a.ID, a.Meta.CampaignID, a.Meta.BidMicros, a.Meta.ClickRate, excl, a.Phrase); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses a corpus from the text format produced by Write.
+func Read(r io.Reader) (*Corpus, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	c := &Corpus{}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		parts := strings.SplitN(line, "\t", 6)
+		if len(parts) != 6 {
+			return nil, fmt.Errorf("corpus: line %d: expected 6 tab-separated fields, got %d", lineNo, len(parts))
+		}
+		id, err := strconv.ParseUint(parts[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("corpus: line %d: bad id: %v", lineNo, err)
+		}
+		camp, err := strconv.ParseUint(parts[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("corpus: line %d: bad campaign: %v", lineNo, err)
+		}
+		bid, err := strconv.ParseInt(parts[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("corpus: line %d: bad bid: %v", lineNo, err)
+		}
+		ctr, err := strconv.ParseUint(parts[3], 10, 16)
+		if err != nil {
+			return nil, fmt.Errorf("corpus: line %d: bad click rate: %v", lineNo, err)
+		}
+		var excl []string
+		if parts[4] != "" {
+			excl = strings.Split(parts[4], ",")
+		}
+		meta := Meta{CampaignID: uint32(camp), BidMicros: bid, ClickRate: uint16(ctr), Exclusions: excl}
+		c.Ads = append(c.Ads, NewAd(id, parts[5], meta))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("corpus: read: %w", err)
+	}
+	return c, nil
+}

@@ -1,0 +1,137 @@
+// Package costmodel implements the main-memory access cost model of
+// Section IV-A of the paper. The model distinguishes a fixed cost for a
+// random access (Cost_Random) from a monotonically increasing cost for a
+// sequential scan of m bytes (Cost_Scan(m)), and is deliberately agnostic
+// to the precise hardware: the optimizer only requires Cost_Scan to be
+// positive and monotone.
+//
+// The package also provides Counters, the access-accounting instrument used
+// throughout the repository to measure how much work each index variant
+// performs (random accesses, bytes scanned, hash probes, nodes visited).
+// These counters substitute for the hardware performance counters (VTune)
+// the paper uses in Section VII-C.
+package costmodel
+
+import "fmt"
+
+// Model holds the parameters of the cost model. Costs are expressed in
+// abstract units; only ratios matter for optimization decisions. The default
+// values approximate a DRAM hierarchy where an uncached random access costs
+// roughly as much as streaming a few hundred bytes.
+type Model struct {
+	// Random is the cost of one random access into main memory
+	// (Cost_Random): a pointer dereference to a cold location, covering
+	// cache miss, TLB miss, and loss of DRAM burst mode.
+	Random float64
+
+	// ScanByte is the incremental cost of sequentially reading one byte
+	// once the initial random access to the start of the region has been
+	// paid. Cost_Scan(m) = ScanSetup + ScanByte*m.
+	ScanByte float64
+
+	// ScanSetup is a fixed per-scan overhead (loop setup, first cache
+	// line). May be zero.
+	ScanSetup float64
+}
+
+// Default returns the model used throughout the experiments: a random
+// access costs as much as scanning 256 bytes. This ratio is far smaller
+// than the disk-era gap, which is exactly the property Section V-B uses to
+// bound the size of data nodes in the optimal mapping.
+func Default() Model {
+	return Model{Random: 256, ScanByte: 1, ScanSetup: 0}
+}
+
+// Scan returns Cost_Scan(m), the cost of sequentially accessing m bytes.
+// It is monotonically increasing in m and positive for m >= 0 whenever the
+// model parameters are positive.
+func (m Model) Scan(bytes int) float64 {
+	if bytes < 0 {
+		bytes = 0
+	}
+	return m.ScanSetup + m.ScanByte*float64(bytes)
+}
+
+// RandomCost returns Cost_Random.
+func (m Model) RandomCost() float64 { return m.Random }
+
+// NodeAccess returns the cost of one data-node visit that scans the given
+// number of bytes: a random access plus the sequential scan.
+func (m Model) NodeAccess(bytes int) float64 {
+	return m.Random + m.Scan(bytes)
+}
+
+// BreakEvenBytes returns the scan length whose cost equals one random
+// access. Nodes are only worth growing while the extra bytes a query must
+// scan past stay below this threshold (Section V-B's bound on node size).
+func (m Model) BreakEvenBytes() int {
+	if m.ScanByte <= 0 {
+		return int(^uint(0) >> 1)
+	}
+	b := (m.Random - m.ScanSetup) / m.ScanByte
+	if b < 0 {
+		return 0
+	}
+	return int(b)
+}
+
+// Validate reports whether the model satisfies the paper's requirements:
+// positive random cost and a positive, monotone scan cost.
+func (m Model) Validate() error {
+	if m.Random <= 0 {
+		return fmt.Errorf("costmodel: Random must be positive, got %v", m.Random)
+	}
+	if m.ScanByte < 0 {
+		return fmt.Errorf("costmodel: ScanByte must be non-negative, got %v", m.ScanByte)
+	}
+	if m.ScanSetup < 0 {
+		return fmt.Errorf("costmodel: ScanSetup must be non-negative, got %v", m.ScanSetup)
+	}
+	if m.ScanByte == 0 && m.ScanSetup == 0 {
+		return fmt.Errorf("costmodel: Cost_Scan must be positive")
+	}
+	return nil
+}
+
+// Counters accumulates the memory-access statistics of query processing.
+// Every index variant in this repository reports its work through Counters
+// so the experiments can compare data volume and access patterns directly
+// (Figure 8 and the Section VII-C analysis).
+type Counters struct {
+	RandomAccesses int64 // pointer dereferences to cold structures
+	BytesScanned   int64 // bytes read sequentially within regions
+	HashProbes     int64 // lookups against the top-level table H
+	NodesVisited   int64 // data nodes (or posting lists) traversed
+	PostingsRead   int64 // postings/entries examined
+	PhrasesChecked int64 // candidate phrases verified against the query
+	Matches        int64 // results returned
+	Queries        int64 // queries processed
+}
+
+// Add accumulates o into c.
+func (c *Counters) Add(o Counters) {
+	c.RandomAccesses += o.RandomAccesses
+	c.BytesScanned += o.BytesScanned
+	c.HashProbes += o.HashProbes
+	c.NodesVisited += o.NodesVisited
+	c.PostingsRead += o.PostingsRead
+	c.PhrasesChecked += o.PhrasesChecked
+	c.Matches += o.Matches
+	c.Queries += o.Queries
+}
+
+// Reset zeroes all counters.
+func (c *Counters) Reset() { *c = Counters{} }
+
+// Cost evaluates the accumulated accesses under model m.
+func (c *Counters) Cost(m Model) float64 {
+	return float64(c.RandomAccesses)*m.Random + m.ScanByte*float64(c.BytesScanned) +
+		m.ScanSetup*float64(c.NodesVisited)
+}
+
+// String renders the counters compactly for logs and experiment output.
+func (c *Counters) String() string {
+	return fmt.Sprintf("queries=%d rand=%d bytes=%d probes=%d nodes=%d postings=%d phrases=%d matches=%d",
+		c.Queries, c.RandomAccesses, c.BytesScanned, c.HashProbes, c.NodesVisited,
+		c.PostingsRead, c.PhrasesChecked, c.Matches)
+}

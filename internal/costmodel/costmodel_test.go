@@ -1,0 +1,168 @@
+package costmodel
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultValid(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatalf("default model invalid: %v", err)
+	}
+}
+
+func TestScanMonotone(t *testing.T) {
+	m := Default()
+	prev := -1.0
+	for bytes := 0; bytes <= 4096; bytes += 64 {
+		c := m.Scan(bytes)
+		if c < prev {
+			t.Fatalf("Scan not monotone at %d bytes: %v < %v", bytes, c, prev)
+		}
+		prev = c
+	}
+}
+
+func TestScanNegativeClamped(t *testing.T) {
+	m := Default()
+	if got, want := m.Scan(-10), m.Scan(0); got != want {
+		t.Errorf("Scan(-10) = %v, want %v", got, want)
+	}
+}
+
+func TestNodeAccess(t *testing.T) {
+	m := Model{Random: 100, ScanByte: 2, ScanSetup: 5}
+	got := m.NodeAccess(10)
+	want := 100 + 5 + 2*10.0
+	if got != want {
+		t.Errorf("NodeAccess(10) = %v, want %v", got, want)
+	}
+}
+
+func TestBreakEvenBytes(t *testing.T) {
+	m := Model{Random: 256, ScanByte: 1}
+	if got := m.BreakEvenBytes(); got != 256 {
+		t.Errorf("BreakEvenBytes = %d, want 256", got)
+	}
+	m = Model{Random: 100, ScanByte: 2, ScanSetup: 20}
+	if got := m.BreakEvenBytes(); got != 40 {
+		t.Errorf("BreakEvenBytes = %d, want 40", got)
+	}
+	m = Model{Random: 10, ScanByte: 0}
+	if got := m.BreakEvenBytes(); got <= 0 {
+		t.Errorf("BreakEvenBytes with zero ScanByte should be huge, got %d", got)
+	}
+	m = Model{Random: 5, ScanByte: 1, ScanSetup: 10}
+	if got := m.BreakEvenBytes(); got != 0 {
+		t.Errorf("BreakEvenBytes should clamp to 0, got %d", got)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Model{
+		{Random: 0, ScanByte: 1},
+		{Random: -1, ScanByte: 1},
+		{Random: 1, ScanByte: -1},
+		{Random: 1, ScanByte: 0, ScanSetup: 0},
+		{Random: 1, ScanByte: 1, ScanSetup: -2},
+	}
+	for _, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("Validate(%+v) should fail", m)
+		}
+	}
+	good := []Model{
+		{Random: 1, ScanByte: 1},
+		{Random: 1, ScanByte: 0, ScanSetup: 1},
+	}
+	for _, m := range good {
+		if err := m.Validate(); err != nil {
+			t.Errorf("Validate(%+v) failed: %v", m, err)
+		}
+	}
+}
+
+func TestCountersAddReset(t *testing.T) {
+	var a, b Counters
+	a = Counters{RandomAccesses: 1, BytesScanned: 2, HashProbes: 3, NodesVisited: 4,
+		PostingsRead: 5, PhrasesChecked: 6, Matches: 7, Queries: 8}
+	b = Counters{RandomAccesses: 10, BytesScanned: 20, HashProbes: 30, NodesVisited: 40,
+		PostingsRead: 50, PhrasesChecked: 60, Matches: 70, Queries: 80}
+	a.Add(b)
+	want := Counters{RandomAccesses: 11, BytesScanned: 22, HashProbes: 33, NodesVisited: 44,
+		PostingsRead: 55, PhrasesChecked: 66, Matches: 77, Queries: 88}
+	if a != want {
+		t.Errorf("Add: got %+v want %+v", a, want)
+	}
+	a.Reset()
+	if a != (Counters{}) {
+		t.Errorf("Reset: got %+v", a)
+	}
+}
+
+func TestCountersCost(t *testing.T) {
+	m := Model{Random: 100, ScanByte: 1, ScanSetup: 2}
+	c := Counters{RandomAccesses: 3, BytesScanned: 50, NodesVisited: 4}
+	got := c.Cost(m)
+	want := 3*100 + 50*1 + 4*2.0
+	if got != want {
+		t.Errorf("Cost = %v, want %v", got, want)
+	}
+}
+
+func TestCountersString(t *testing.T) {
+	c := Counters{Queries: 5, Matches: 2}
+	s := c.String()
+	if !strings.Contains(s, "queries=5") || !strings.Contains(s, "matches=2") {
+		t.Errorf("String missing fields: %q", s)
+	}
+}
+
+// Property: cost is additive — Cost(a) + Cost(b) == Cost(a+b).
+func TestCostAdditiveQuick(t *testing.T) {
+	m := Default()
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		gen := func() Counters {
+			return Counters{
+				RandomAccesses: int64(r.Intn(1000)),
+				BytesScanned:   int64(r.Intn(100000)),
+				NodesVisited:   int64(r.Intn(1000)),
+			}
+		}
+		a, b := gen(), gen()
+		sum := a
+		sum.Add(b)
+		return a.Cost(m)+b.Cost(m) == sum.Cost(m)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: for positive models, break-even bytes scan cost never exceeds
+// one random access plus one byte of slack.
+func TestBreakEvenQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := Model{
+			Random:    1 + float64(r.Intn(1000)),
+			ScanByte:  0.5 + float64(r.Intn(10)),
+			ScanSetup: float64(r.Intn(20)),
+		}
+		be := m.BreakEvenBytes()
+		// Scanning up to the break-even point never costs more than a
+		// random access (plus one byte of integer-truncation slack),
+		// except when the fixed scan setup alone already exceeds it.
+		bound := m.Random + m.ScanByte
+		if m.ScanSetup > bound {
+			bound = m.ScanSetup + m.ScanByte
+		}
+		return m.Scan(be) <= bound
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,244 @@
+package hashindex
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"adindex/internal/bitvec"
+)
+
+// Serialization of the compressed index. The format is versioned and
+// self-contained:
+//
+//	magic "ADIXSNAP" | version u8
+//	suffixBits uvarint | maxWords uvarint | maxQueryWords uvarint
+//	vocab count uvarint, then per word: len uvarint + bytes + df uvarint
+//	sig positions: count uvarint, then gap-encoded uvarints
+//	node starts: count uvarint, then gap-encoded uvarints
+//	arena: len uvarint + bytes
+//
+// Everything needed to serve queries is restored; the structure is
+// immutable, so no rebuild is required after loading.
+
+const (
+	snapMagic   = "ADIXSNAP"
+	snapVersion = 1
+)
+
+// WriteTo serializes the index. It implements io.WriterTo.
+func (ix *Index) WriteTo(w io.Writer) (int64, error) {
+	cw := &countingWriter{w: bufio.NewWriter(w)}
+	bw := cw.w.(*bufio.Writer)
+
+	write := func(p []byte) error {
+		_, err := cw.Write(p)
+		return err
+	}
+	var tmp [binary.MaxVarintLen64]byte
+	putU := func(v uint64) error {
+		n := binary.PutUvarint(tmp[:], v)
+		return write(tmp[:n])
+	}
+
+	if err := write([]byte(snapMagic)); err != nil {
+		return cw.n, err
+	}
+	if err := write([]byte{snapVersion}); err != nil {
+		return cw.n, err
+	}
+	for _, v := range []uint64{uint64(ix.opts.SuffixBits), uint64(ix.opts.MaxWords), uint64(ix.opts.MaxQueryWords)} {
+		if err := putU(v); err != nil {
+			return cw.n, err
+		}
+	}
+	// Vocabulary.
+	if err := putU(uint64(len(ix.vocab))); err != nil {
+		return cw.n, err
+	}
+	for w, df := range ix.vocab {
+		if err := putU(uint64(len(w))); err != nil {
+			return cw.n, err
+		}
+		if err := write([]byte(w)); err != nil {
+			return cw.n, err
+		}
+		if err := putU(uint64(df)); err != nil {
+			return cw.n, err
+		}
+	}
+	// Signature positions (gap-encoded).
+	sigOnes := ix.sig.Ones()
+	if err := putU(uint64(sigOnes)); err != nil {
+		return cw.n, err
+	}
+	prev := -1
+	for j := 1; j <= sigOnes; j++ {
+		p := ix.sig.Select1(j)
+		if err := putU(uint64(p - prev)); err != nil {
+			return cw.n, err
+		}
+		prev = p
+	}
+	// Node start offsets (gap-encoded).
+	nodes := ix.off.Ones()
+	if err := putU(uint64(nodes)); err != nil {
+		return cw.n, err
+	}
+	prev = -1
+	for j := 1; j <= nodes; j++ {
+		p := ix.off.Select1(j)
+		if err := putU(uint64(p - prev)); err != nil {
+			return cw.n, err
+		}
+		prev = p
+	}
+	// Arena.
+	if err := putU(uint64(len(ix.arena))); err != nil {
+		return cw.n, err
+	}
+	if err := write(ix.arena); err != nil {
+		return cw.n, err
+	}
+	return cw.n, bw.Flush()
+}
+
+// Read deserializes an index written by WriteTo.
+func Read(r io.Reader) (*Index, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(snapMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("hashindex: reading magic: %w", err)
+	}
+	if string(magic) != snapMagic {
+		return nil, fmt.Errorf("hashindex: bad magic %q", magic)
+	}
+	ver, err := br.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	if ver != snapVersion {
+		return nil, fmt.Errorf("hashindex: unsupported snapshot version %d", ver)
+	}
+	getU := func() (uint64, error) { return binary.ReadUvarint(br) }
+
+	var opts Options
+	if v, err := getU(); err != nil {
+		return nil, err
+	} else {
+		opts.SuffixBits = int(v)
+	}
+	if v, err := getU(); err != nil {
+		return nil, err
+	} else {
+		opts.MaxWords = int(v)
+	}
+	if v, err := getU(); err != nil {
+		return nil, err
+	} else {
+		opts.MaxQueryWords = int(v)
+	}
+	if opts.SuffixBits < 1 || opts.SuffixBits > 30 {
+		return nil, fmt.Errorf("hashindex: snapshot suffix bits %d out of range", opts.SuffixBits)
+	}
+
+	ix := &Index{opts: opts, mask: uint64(1)<<uint(opts.SuffixBits) - 1, vocab: make(map[string]int)}
+	nVocab, err := getU()
+	if err != nil {
+		return nil, err
+	}
+	if nVocab > 1<<28 {
+		return nil, fmt.Errorf("hashindex: implausible vocabulary size %d", nVocab)
+	}
+	for i := uint64(0); i < nVocab; i++ {
+		l, err := getU()
+		if err != nil {
+			return nil, err
+		}
+		if l > 1<<16 {
+			return nil, fmt.Errorf("hashindex: implausible word length %d", l)
+		}
+		word := make([]byte, l)
+		if _, err := io.ReadFull(br, word); err != nil {
+			return nil, err
+		}
+		df, err := getU()
+		if err != nil {
+			return nil, err
+		}
+		ix.vocab[string(word)] = int(df)
+	}
+
+	readGaps := func(limit int) ([]int, error) {
+		n, err := getU()
+		if err != nil {
+			return nil, err
+		}
+		if n > uint64(limit) {
+			return nil, fmt.Errorf("hashindex: implausible position count %d", n)
+		}
+		out := make([]int, n)
+		pos := -1
+		for i := range out {
+			gap, err := getU()
+			if err != nil {
+				return nil, err
+			}
+			pos += int(gap)
+			out[i] = pos
+		}
+		return out, nil
+	}
+	sigPositions, err := readGaps(1 << 30)
+	if err != nil {
+		return nil, fmt.Errorf("hashindex: signature positions: %w", err)
+	}
+	starts, err := readGaps(1 << 30)
+	if err != nil {
+		return nil, fmt.Errorf("hashindex: node starts: %w", err)
+	}
+	arenaLen, err := getU()
+	if err != nil {
+		return nil, err
+	}
+	if arenaLen > 1<<40 {
+		return nil, fmt.Errorf("hashindex: implausible arena size %d", arenaLen)
+	}
+	ix.arena = make([]byte, arenaLen)
+	if _, err := io.ReadFull(br, ix.arena); err != nil {
+		return nil, fmt.Errorf("hashindex: arena: %w", err)
+	}
+
+	if len(sigPositions) != len(starts) {
+		return nil, fmt.Errorf("hashindex: %d signatures but %d nodes", len(sigPositions), len(starts))
+	}
+	ix.sig = bitvec.New(1 << uint(opts.SuffixBits))
+	for _, p := range sigPositions {
+		if p < 0 || p >= ix.sig.Len() {
+			return nil, fmt.Errorf("hashindex: signature position %d out of range", p)
+		}
+		ix.sig.Set(p)
+	}
+	ix.sig.BuildRank()
+	offLen := len(ix.arena)
+	if offLen == 0 {
+		offLen = 1
+	}
+	ix.off, err = bitvec.NewSparse(offLen, starts)
+	if err != nil {
+		return nil, fmt.Errorf("hashindex: rebuilding B^off: %w", err)
+	}
+	return ix, nil
+}
+
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}

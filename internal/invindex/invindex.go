@@ -1,0 +1,296 @@
+// Package invindex implements the two inverted-index baselines the paper
+// evaluates against in Sections I-C and VII-A:
+//
+//   - Unmodified: a non-redundant inverted index that indexes each ad only
+//     under the rarest word of its bid phrase. Queries traverse the lists
+//     of all query words and explicitly verify each candidate's phrase
+//     against the query (requiring a random access per candidate).
+//
+//   - Modified: an inverted index that stores one posting per (word, ad)
+//     pair, annotated with the total word count of the ad's phrase.
+//     Queries merge all lists for the query's words counting occurrences
+//     per ad; an ad matches iff its occurrence count equals its phrase
+//     word count. No phrase accesses are needed, but every posting of
+//     every frequent query word must be read.
+//
+// Neither variant can use skipping (Section VII-A): an ad with fewer
+// keywords than the query need not appear in every traversed list.
+package invindex
+
+import (
+	"slices"
+	"sort"
+
+	"adindex/internal/corpus"
+	"adindex/internal/costmodel"
+	"adindex/internal/textnorm"
+)
+
+// byID orders match results by advertisement ID.
+func byID(a, b *corpus.Ad) int {
+	switch {
+	case a.ID < b.ID:
+		return -1
+	case a.ID > b.ID:
+		return 1
+	}
+	return 0
+}
+
+// Byte sizes used for data-volume accounting (Figure 8).
+const (
+	// UnmodifiedPostingBytes is the size of a posting in the unmodified
+	// index: an 8-byte reference to the ad record.
+	UnmodifiedPostingBytes = 8
+	// ModifiedPostingBytes is the size of a posting in the modified
+	// index: an 8-byte ad ID plus a 2-byte phrase word count.
+	ModifiedPostingBytes = 10
+	// ListHeadBytes models the per-list header read on lookup.
+	ListHeadBytes = 16
+)
+
+// Unmodified is the non-redundant rarest-word inverted index.
+type Unmodified struct {
+	ads   []corpus.Ad
+	lists map[string][]int32 // rarest word -> indexes into ads
+}
+
+// NewUnmodified builds the baseline over ads. The rarest word of each
+// phrase is chosen by corpus-wide document frequency (ties broken
+// lexicographically for determinism).
+func NewUnmodified(ads []corpus.Ad) *Unmodified {
+	df := make(map[string]int)
+	for i := range ads {
+		for _, w := range ads[i].Words {
+			df[w]++
+		}
+	}
+	u := &Unmodified{ads: ads, lists: make(map[string][]int32)}
+	for i := range ads {
+		w := rarestWord(ads[i].Words, df)
+		if w == "" {
+			continue
+		}
+		u.lists[w] = append(u.lists[w], int32(i))
+	}
+	return u
+}
+
+func rarestWord(words []string, df map[string]int) string {
+	best := ""
+	bestDF := int(^uint(0) >> 1)
+	for _, w := range words {
+		if d := df[w]; d < bestDF || (d == bestDF && w < best) {
+			best, bestDF = w, d
+		}
+	}
+	return best
+}
+
+// BroadMatch returns all ads whose word sets are subsets of queryWords
+// (canonical). Each candidate posting forces a random access to the ad's
+// phrase for verification.
+func (u *Unmodified) BroadMatch(queryWords []string, counters *costmodel.Counters) []*corpus.Ad {
+	q := textnorm.CanonicalSet(queryWords)
+	if counters != nil {
+		counters.Queries++
+	}
+	if len(q) == 0 {
+		return nil
+	}
+	var matches []*corpus.Ad
+	for _, w := range q {
+		list, ok := u.lists[w]
+		if counters != nil {
+			counters.HashProbes++
+			counters.RandomAccesses++
+			counters.BytesScanned += ListHeadBytes
+		}
+		if !ok {
+			continue
+		}
+		if counters != nil {
+			counters.NodesVisited++
+			counters.PostingsRead += int64(len(list))
+			counters.BytesScanned += int64(len(list)) * UnmodifiedPostingBytes
+		}
+		for _, idx := range list {
+			ad := &u.ads[idx]
+			// Explicit phrase check: dereference the ad record.
+			if counters != nil {
+				counters.RandomAccesses++
+				counters.PhrasesChecked++
+				counters.BytesScanned += int64(ad.PhraseSize())
+			}
+			if textnorm.IsSubset(ad.Words, q) {
+				if counters != nil {
+					counters.BytesScanned += int64(ad.MetaSize())
+				}
+				matches = append(matches, ad)
+			}
+		}
+	}
+	slices.SortFunc(matches, byID)
+	if counters != nil {
+		counters.Matches += int64(len(matches))
+	}
+	return matches
+}
+
+// BroadMatchText is BroadMatch on raw query text.
+func (u *Unmodified) BroadMatchText(query string, counters *costmodel.Counters) []*corpus.Ad {
+	return u.BroadMatch(textnorm.WordSet(query), counters)
+}
+
+// NumPostings returns the total number of postings (equal to the number of
+// indexed ads, since indexing is non-redundant).
+func (u *Unmodified) NumPostings() int {
+	n := 0
+	for _, l := range u.lists {
+		n += len(l)
+	}
+	return n
+}
+
+// ListLengths returns the posting-list lengths, sorted descending (used by
+// the Section VII-A "elements under each key" analysis).
+func (u *Unmodified) ListLengths() []int {
+	out := make([]int, 0, len(u.lists))
+	for _, l := range u.lists {
+		out = append(out, len(l))
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(out)))
+	return out
+}
+
+// modPosting is a posting in the modified index.
+type modPosting struct {
+	adIdx     int32
+	wordCount uint16
+}
+
+// Modified is the count-annotated inverted index.
+type Modified struct {
+	ads   []corpus.Ad
+	lists map[string][]modPosting
+}
+
+// NewModified builds the modified baseline: every word of every phrase is
+// indexed, and each posting carries the phrase's total word count.
+func NewModified(ads []corpus.Ad) *Modified {
+	m := &Modified{ads: ads, lists: make(map[string][]modPosting)}
+	for i := range ads {
+		wc := uint16(len(ads[i].Words))
+		for _, w := range ads[i].Words {
+			m.lists[w] = append(m.lists[w], modPosting{adIdx: int32(i), wordCount: wc})
+		}
+	}
+	return m
+}
+
+// BroadMatch merges the posting lists of all query words, counting
+// occurrences per ad; ads whose count reaches their phrase word count
+// match. Phrases are never accessed; only matched ads are dereferenced to
+// return results.
+func (m *Modified) BroadMatch(queryWords []string, counters *costmodel.Counters) []*corpus.Ad {
+	q := textnorm.CanonicalSet(queryWords)
+	if counters != nil {
+		counters.Queries++
+	}
+	if len(q) == 0 {
+		return nil
+	}
+	seen := make(map[int32]uint16)
+	var matched []int32
+	for _, w := range q {
+		list, ok := m.lists[w]
+		if counters != nil {
+			counters.HashProbes++
+			counters.RandomAccesses++
+			counters.BytesScanned += ListHeadBytes
+		}
+		if !ok {
+			continue
+		}
+		if counters != nil {
+			counters.NodesVisited++
+			counters.PostingsRead += int64(len(list))
+			counters.BytesScanned += int64(len(list)) * ModifiedPostingBytes
+		}
+		for _, p := range list {
+			seen[p.adIdx]++
+			if seen[p.adIdx] == p.wordCount {
+				matched = append(matched, p.adIdx)
+			}
+		}
+	}
+	matches := make([]*corpus.Ad, 0, len(matched))
+	for _, idx := range matched {
+		ad := &m.ads[idx]
+		if counters != nil {
+			counters.RandomAccesses++
+			counters.BytesScanned += int64(ad.Size())
+		}
+		matches = append(matches, ad)
+	}
+	slices.SortFunc(matches, byID)
+	if counters != nil {
+		counters.Matches += int64(len(matches))
+	}
+	return matches
+}
+
+// BroadMatchText is BroadMatch on raw query text.
+func (m *Modified) BroadMatchText(query string, counters *costmodel.Counters) []*corpus.Ad {
+	return m.BroadMatch(textnorm.WordSet(query), counters)
+}
+
+// NumPostings returns the total number of postings (sum of phrase lengths).
+func (m *Modified) NumPostings() int {
+	n := 0
+	for _, l := range m.lists {
+		n += len(l)
+	}
+	return n
+}
+
+// ListLengths returns the posting-list lengths, sorted descending.
+func (m *Modified) ListLengths() []int {
+	out := make([]int, 0, len(m.lists))
+	for _, l := range m.lists {
+		out = append(out, len(l))
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(out)))
+	return out
+}
+
+// ScanOnly traverses all postings for the query without any merging logic
+// (the paper's control experiment at the end of Section VII-A: access each
+// required posting once, with no further processing).
+func (m *Modified) ScanOnly(queryWords []string, counters *costmodel.Counters) int {
+	q := textnorm.CanonicalSet(queryWords)
+	if counters != nil {
+		counters.Queries++
+	}
+	total := 0
+	for _, w := range q {
+		list := m.lists[w]
+		if counters != nil {
+			counters.HashProbes++
+			counters.RandomAccesses++
+			counters.BytesScanned += ListHeadBytes
+		}
+		if len(list) == 0 {
+			continue
+		}
+		if counters != nil {
+			counters.NodesVisited++
+			counters.PostingsRead += int64(len(list))
+			counters.BytesScanned += int64(len(list)) * ModifiedPostingBytes
+		}
+		for _, p := range list {
+			total += int(p.wordCount) // force the read
+		}
+	}
+	return total
+}

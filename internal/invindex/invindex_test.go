@@ -1,0 +1,307 @@
+package invindex
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"adindex/internal/core"
+	"adindex/internal/corpus"
+	"adindex/internal/costmodel"
+	"adindex/internal/textnorm"
+)
+
+func refBroadMatch(ads []corpus.Ad, q []string) []uint64 {
+	qs := textnorm.CanonicalSet(q)
+	var ids []uint64
+	for i := range ads {
+		if textnorm.IsSubset(ads[i].Words, qs) {
+			ids = append(ids, ads[i].ID)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+func ids(ads []*corpus.Ad) []uint64 {
+	out := make([]uint64, 0, len(ads))
+	for _, a := range ads {
+		out = append(out, a.ID)
+	}
+	return out
+}
+
+func mustAds(phrases ...string) []corpus.Ad {
+	ads := make([]corpus.Ad, len(phrases))
+	for i, p := range phrases {
+		ads[i] = corpus.NewAd(uint64(i+1), p, corpus.Meta{})
+	}
+	return ads
+}
+
+func TestUnmodifiedBasic(t *testing.T) {
+	ads := mustAds("used books", "comic books", "cheap books")
+	u := NewUnmodified(ads)
+	got := ids(u.BroadMatchText("cheap used books", nil))
+	if !reflect.DeepEqual(got, []uint64{1, 3}) {
+		t.Errorf("got %v, want [1 3]", got)
+	}
+	if got := u.BroadMatchText("books", nil); len(got) != 0 {
+		t.Errorf("'books' matched %v", ids(got))
+	}
+	if got := u.BroadMatchText("", nil); got != nil {
+		t.Errorf("empty query matched %v", ids(got))
+	}
+}
+
+func TestUnmodifiedNonRedundant(t *testing.T) {
+	ads := mustAds("a b c", "a b", "a")
+	u := NewUnmodified(ads)
+	if got := u.NumPostings(); got != len(ads) {
+		t.Errorf("NumPostings = %d, want %d (non-redundant)", got, len(ads))
+	}
+}
+
+func TestModifiedBasic(t *testing.T) {
+	ads := mustAds("used books", "comic books", "cheap books")
+	m := NewModified(ads)
+	got := ids(m.BroadMatchText("cheap used books", nil))
+	if !reflect.DeepEqual(got, []uint64{1, 3}) {
+		t.Errorf("got %v, want [1 3]", got)
+	}
+	if got := m.BroadMatchText("books", nil); len(got) != 0 {
+		t.Errorf("'books' matched %v", ids(got))
+	}
+	if got := m.BroadMatchText("", nil); got != nil {
+		t.Errorf("empty query matched %v", ids(got))
+	}
+}
+
+func TestModifiedRedundant(t *testing.T) {
+	ads := mustAds("a b c", "a b", "a")
+	m := NewModified(ads)
+	if got := m.NumPostings(); got != 6 {
+		t.Errorf("NumPostings = %d, want 6 (one per word per ad)", got)
+	}
+}
+
+func TestDuplicateWordSemantics(t *testing.T) {
+	ads := mustAds("talk", "talk talk")
+	u := NewUnmodified(ads)
+	m := NewModified(ads)
+	for name, fn := range map[string]func(string) []uint64{
+		"unmodified": func(q string) []uint64 { return ids(u.BroadMatchText(q, nil)) },
+		"modified":   func(q string) []uint64 { return ids(m.BroadMatchText(q, nil)) },
+	} {
+		if got := fn("talk"); !reflect.DeepEqual(got, []uint64{1}) {
+			t.Errorf("%s 'talk' = %v, want [1]", name, got)
+		}
+		if got := fn("talk talk"); !reflect.DeepEqual(got, []uint64{2}) {
+			t.Errorf("%s 'talk talk' = %v, want [2]", name, got)
+		}
+	}
+}
+
+// All three implementations (core index, both baselines) must agree with
+// the brute-force oracle on random corpora and queries.
+func TestAllVariantsAgree(t *testing.T) {
+	c := corpus.Generate(corpus.GenOptions{NumAds: 2500, Seed: 77})
+	u := NewUnmodified(c.Ads)
+	m := NewModified(c.Ads)
+	ix := core.New(c.Ads, core.Options{})
+	vocab := c.Vocabulary()
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 250; trial++ {
+		var qw []string
+		if trial%2 == 0 {
+			ad := &c.Ads[rng.Intn(len(c.Ads))]
+			qw = append(append(qw, ad.Words...), vocab[rng.Intn(len(vocab))])
+		} else {
+			for i := 1 + rng.Intn(5); i > 0; i-- {
+				qw = append(qw, vocab[rng.Intn(len(vocab))])
+			}
+		}
+		want := refBroadMatch(c.Ads, qw)
+		gotU := ids(u.BroadMatch(qw, nil))
+		gotM := ids(m.BroadMatch(qw, nil))
+		gotC := ids(ix.BroadMatch(textnorm.CanonicalSet(qw), nil))
+		for name, got := range map[string][]uint64{"unmodified": gotU, "modified": gotM, "core": gotC} {
+			if len(got) == 0 && len(want) == 0 {
+				continue
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("trial %d %s: query %v got %v want %v", trial, name, qw, got, want)
+			}
+		}
+	}
+}
+
+// The paper's central observation: for queries containing corpus-frequent
+// words, the modified index reads far more data than the unmodified one,
+// which in turn reads more than the hash-based structure.
+func TestDataVolumeOrdering(t *testing.T) {
+	c := corpus.Generate(corpus.GenOptions{NumAds: 20000, Seed: 3})
+	u := NewUnmodified(c.Ads)
+	m := NewModified(c.Ads)
+	ix := core.New(c.Ads, core.Options{})
+
+	// Query with the most frequent corpus words (worst case for inverted).
+	wc := c.WordCounts()
+	type wf struct {
+		w string
+		f int
+	}
+	var freqs []wf
+	for w, f := range wc {
+		freqs = append(freqs, wf{w, f})
+	}
+	sort.Slice(freqs, func(i, j int) bool {
+		if freqs[i].f != freqs[j].f {
+			return freqs[i].f > freqs[j].f
+		}
+		return freqs[i].w < freqs[j].w
+	})
+	q := []string{freqs[0].w, freqs[1].w, freqs[2].w}
+
+	var cu, cm, cc costmodel.Counters
+	u.BroadMatch(q, &cu)
+	m.BroadMatch(q, &cm)
+	ix.BroadMatch(textnorm.CanonicalSet(q), &cc)
+
+	if cm.BytesScanned <= cu.BytesScanned {
+		t.Errorf("modified (%d B) should read more than unmodified (%d B)",
+			cm.BytesScanned, cu.BytesScanned)
+	}
+	if cu.BytesScanned <= cc.BytesScanned {
+		t.Errorf("unmodified (%d B) should read more than core (%d B)",
+			cu.BytesScanned, cc.BytesScanned)
+	}
+}
+
+func TestListLengths(t *testing.T) {
+	ads := mustAds("a b", "a c", "a d", "b c")
+	m := NewModified(ads)
+	ll := m.ListLengths()
+	if ll[0] != 3 { // "a" occurs in 3 ads
+		t.Errorf("top list length = %d, want 3", ll[0])
+	}
+	if !sort.IsSorted(sort.Reverse(sort.IntSlice(ll))) {
+		t.Errorf("lengths not sorted descending: %v", ll)
+	}
+	u := NewUnmodified(ads)
+	total := 0
+	for _, l := range u.ListLengths() {
+		total += l
+	}
+	if total != len(ads) {
+		t.Errorf("unmodified total postings = %d, want %d", total, len(ads))
+	}
+}
+
+func TestScanOnly(t *testing.T) {
+	ads := mustAds("a b", "a c", "b c")
+	m := NewModified(ads)
+	var c costmodel.Counters
+	m.ScanOnly([]string{"a", "b"}, &c)
+	if c.PostingsRead != 4 { // a:2 + b:2
+		t.Errorf("PostingsRead = %d, want 4", c.PostingsRead)
+	}
+	if c.BytesScanned != 2*ListHeadBytes+4*ModifiedPostingBytes {
+		t.Errorf("BytesScanned = %d", c.BytesScanned)
+	}
+}
+
+func TestCountersMatches(t *testing.T) {
+	ads := mustAds("a", "a b")
+	u := NewUnmodified(ads)
+	m := NewModified(ads)
+	var cu, cm costmodel.Counters
+	u.BroadMatch([]string{"a", "b"}, &cu)
+	m.BroadMatch([]string{"a", "b"}, &cm)
+	if cu.Matches != 2 || cm.Matches != 2 {
+		t.Errorf("Matches: unmodified=%d modified=%d, want 2", cu.Matches, cm.Matches)
+	}
+	if cu.Queries != 1 || cm.Queries != 1 {
+		t.Errorf("Queries: %d/%d", cu.Queries, cm.Queries)
+	}
+}
+
+func TestRarestWordSelection(t *testing.T) {
+	// "zebra" is rarer than "books" in this corpus, so the ad must be
+	// indexed under "zebra" only.
+	ads := mustAds("books zebra", "books", "books cheap")
+	u := NewUnmodified(ads)
+	if l := u.lists["zebra"]; len(l) != 1 {
+		t.Errorf("zebra list = %v, want 1 posting", l)
+	}
+	for w, l := range u.lists {
+		if w == "books" {
+			// ad 2 ("books") has only one word.
+			if len(l) != 1 {
+				t.Errorf("books list = %v", l)
+			}
+		}
+	}
+}
+
+// Property: both baselines agree with the oracle on small random universes
+// (exhaustive enough to hit collisions of rare/frequent words).
+func TestBaselinesQuick(t *testing.T) {
+	words := []string{"a", "b", "c", "d", "e"}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(12)
+		ads := make([]corpus.Ad, n)
+		for i := range ads {
+			k := 1 + rng.Intn(3)
+			var ws []string
+			for j := 0; j < k; j++ {
+				ws = append(ws, words[rng.Intn(len(words))])
+			}
+			ads[i] = corpus.NewAd(uint64(i+1), joinWords(ws), corpus.Meta{})
+		}
+		u := NewUnmodified(ads)
+		m := NewModified(ads)
+		for trial := 0; trial < 10; trial++ {
+			var q []string
+			for j := 0; j <= rng.Intn(4); j++ {
+				q = append(q, words[rng.Intn(len(words))])
+			}
+			want := refBroadMatch(ads, q)
+			gu := ids(u.BroadMatch(q, nil))
+			gm := ids(m.BroadMatch(q, nil))
+			if !sameIDs(gu, want) || !sameIDs(gm, want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func sameIDs(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func joinWords(ws []string) string {
+	s := ""
+	for i, w := range ws {
+		if i > 0 {
+			s += " "
+		}
+		s += w
+	}
+	return s
+}

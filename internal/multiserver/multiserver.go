@@ -1,0 +1,453 @@
+// Package multiserver reproduces the Section VII-B deployment: the
+// broad-match index and the advertisement metadata reside on two different
+// servers, so *every* query pays two consecutive network round trips
+// (index lookup, then metadata fetch). The paper shows that even in this
+// network-dominated regime the hash-based index beats the inverted-index
+// baseline on CPU utilization, requests per second, and the response
+// latency distribution (Figure 9).
+//
+// Servers here are real TCP servers (loopback) with configurable injected
+// latency standing in for wire delay; the load driver is closed-loop with
+// a fixed worker pool, measuring end-to-end latency per request in the
+// 5 ms buckets of Figure 9.
+package multiserver
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"adindex/internal/core"
+	"adindex/internal/corpus"
+	"adindex/internal/invindex"
+	"adindex/internal/workload"
+)
+
+// Backend answers broad-match queries with matching ad IDs. Implementations
+// wrap the hash-based index and the inverted-index baseline.
+type Backend interface {
+	// MatchIDs returns the IDs of ads broad-matching the query text.
+	MatchIDs(query string) []uint64
+}
+
+// CoreBackend serves from the paper's hash-based index.
+type CoreBackend struct{ Index *core.Index }
+
+// MatchIDs implements Backend.
+func (b CoreBackend) MatchIDs(query string) []uint64 {
+	matches := b.Index.BroadMatchText(query, nil)
+	ids := make([]uint64, len(matches))
+	for i, m := range matches {
+		ids[i] = m.ID
+	}
+	return ids
+}
+
+// InvertedBackend serves from the unmodified (non-redundant) inverted
+// index — the faster of the two baselines, as in the paper's experiment.
+type InvertedBackend struct{ Index *invindex.Unmodified }
+
+// MatchIDs implements Backend.
+func (b InvertedBackend) MatchIDs(query string) []uint64 {
+	matches := b.Index.BroadMatchText(query, nil)
+	ids := make([]uint64, len(matches))
+	for i, m := range matches {
+		ids[i] = m.ID
+	}
+	return ids
+}
+
+// Frame protocol: 4-byte big-endian length, then payload.
+
+func writeFrame(w io.Writer, payload []byte) error {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > 1<<24 {
+		return nil, fmt.Errorf("multiserver: frame of %d bytes too large", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}
+
+// ServeOpts configures a Server.
+type ServeOpts struct {
+	// Latency is the injected per-request wire delay.
+	Latency time.Duration
+	// MaxConcurrent bounds the number of handlers executing at once,
+	// simulating a server with limited CPU cores (the paper's index
+	// server saturates at 98% CPU); 0 means unlimited. Injected latency
+	// is not charged against this limit — wire delay is not CPU.
+	MaxConcurrent int
+}
+
+// Server is a TCP request/response server with injected per-request
+// latency and service-time accounting.
+type Server struct {
+	ln      net.Listener
+	handler func([]byte) []byte
+	latency time.Duration
+	cpu     chan struct{} // nil = unlimited
+
+	busyNanos int64 // accumulated handler time (excludes injected latency)
+	requests  int64
+
+	mu     sync.Mutex
+	closed bool
+	conns  map[net.Conn]struct{}
+	wg     sync.WaitGroup
+}
+
+// Serve starts a server on addr (use "127.0.0.1:0" for an ephemeral port).
+// Each request frame is answered by handler(payload) after sleeping the
+// injected latency (simulated wire delay).
+func Serve(addr string, opts ServeOpts, handler func([]byte) []byte) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{ln: ln, handler: handler, latency: opts.Latency, conns: make(map[net.Conn]struct{})}
+	if opts.MaxConcurrent > 0 {
+		s.cpu = make(chan struct{}, opts.MaxConcurrent)
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listening address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// BusyFraction returns accumulated handler time divided by the elapsed
+// duration — the CPU-utilization proxy of the Section VII-B comparison.
+// Values above 1 indicate the server needed more than one core's worth of
+// compute.
+func (s *Server) BusyFraction(elapsed time.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(atomic.LoadInt64(&s.busyNanos)) / float64(elapsed.Nanoseconds())
+}
+
+// Requests returns the number of requests served.
+func (s *Server) Requests() int64 { return atomic.LoadInt64(&s.requests) }
+
+// MeanServiceTime returns the average handler execution time per request
+// (excludes injected latency). Unlike throughput it is robust to CPU
+// contention from unrelated load.
+func (s *Server) MeanServiceTime() time.Duration {
+	n := atomic.LoadInt64(&s.requests)
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(atomic.LoadInt64(&s.busyNanos) / n)
+}
+
+// ResetStats zeroes the busy-time and request counters (e.g. after a
+// warmup run).
+func (s *Server) ResetStats() {
+	atomic.StoreInt64(&s.busyNanos, 0)
+	atomic.StoreInt64(&s.requests, 0)
+}
+
+// Close stops the server and waits for connection handlers to finish.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	err := s.ln.Close()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.handleConn(conn)
+	}
+}
+
+func (s *Server) handleConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	for {
+		req, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		if s.latency > 0 {
+			time.Sleep(s.latency)
+		}
+		if s.cpu != nil {
+			s.cpu <- struct{}{}
+		}
+		start := time.Now()
+		resp := s.handler(req)
+		atomic.AddInt64(&s.busyNanos, time.Since(start).Nanoseconds())
+		if s.cpu != nil {
+			<-s.cpu
+		}
+		atomic.AddInt64(&s.requests, 1)
+		if err := writeFrame(conn, resp); err != nil {
+			return
+		}
+	}
+}
+
+// encodeIDs/decodeIDs serialize ID lists for the index-server response and
+// the ad-server request.
+func encodeIDs(ids []uint64) []byte {
+	buf := make([]byte, 4+8*len(ids))
+	binary.BigEndian.PutUint32(buf, uint32(len(ids)))
+	for i, id := range ids {
+		binary.BigEndian.PutUint64(buf[4+8*i:], id)
+	}
+	return buf
+}
+
+func decodeIDs(data []byte) ([]uint64, error) {
+	if len(data) < 4 {
+		return nil, errors.New("multiserver: short ID frame")
+	}
+	n := binary.BigEndian.Uint32(data)
+	if uint32(len(data)-4) != n*8 {
+		return nil, fmt.Errorf("multiserver: ID frame length mismatch: %d ids, %d bytes", n, len(data)-4)
+	}
+	ids := make([]uint64, n)
+	for i := range ids {
+		ids[i] = binary.BigEndian.Uint64(data[4+8*i:])
+	}
+	return ids, nil
+}
+
+// NewIndexServer starts the index server: requests are query texts,
+// responses are matching ad ID lists.
+func NewIndexServer(addr string, opts ServeOpts, backend Backend) (*Server, error) {
+	return Serve(addr, opts, func(req []byte) []byte {
+		return encodeIDs(backend.MatchIDs(string(req)))
+	})
+}
+
+// NewAdServer starts the metadata server: requests are ad ID lists,
+// responses are fixed-width metadata records (bid price and click rate per
+// ID; zeroes for unknown IDs).
+func NewAdServer(addr string, opts ServeOpts, ads []corpus.Ad) (*Server, error) {
+	byID := make(map[uint64]*corpus.Ad, len(ads))
+	for i := range ads {
+		byID[ads[i].ID] = &ads[i]
+	}
+	return Serve(addr, opts, func(req []byte) []byte {
+		ids, err := decodeIDs(req)
+		if err != nil {
+			return nil
+		}
+		resp := make([]byte, 10*len(ids))
+		for i, id := range ids {
+			if ad, ok := byID[id]; ok {
+				binary.BigEndian.PutUint64(resp[10*i:], uint64(ad.Meta.BidMicros))
+				binary.BigEndian.PutUint16(resp[10*i+8:], ad.Meta.ClickRate)
+			}
+		}
+		return resp
+	})
+}
+
+// Client issues end-to-end queries: index server, then ad server.
+type Client struct {
+	indexConn net.Conn
+	adConn    net.Conn
+}
+
+// Dial connects to both servers.
+func Dial(indexAddr, adAddr string) (*Client, error) {
+	ic, err := net.Dial("tcp", indexAddr)
+	if err != nil {
+		return nil, err
+	}
+	ac, err := net.Dial("tcp", adAddr)
+	if err != nil {
+		ic.Close()
+		return nil, err
+	}
+	return &Client{indexConn: ic, adConn: ac}, nil
+}
+
+// Close closes both connections.
+func (c *Client) Close() {
+	c.indexConn.Close()
+	c.adConn.Close()
+}
+
+// Query runs one end-to-end retrieval and returns the matching ad IDs.
+func (c *Client) Query(query string) ([]uint64, error) {
+	if err := writeFrame(c.indexConn, []byte(query)); err != nil {
+		return nil, err
+	}
+	resp, err := readFrame(c.indexConn)
+	if err != nil {
+		return nil, err
+	}
+	ids, err := decodeIDs(resp)
+	if err != nil {
+		return nil, err
+	}
+	if err := writeFrame(c.adConn, encodeIDs(ids)); err != nil {
+		return nil, err
+	}
+	if _, err := readFrame(c.adConn); err != nil {
+		return nil, err
+	}
+	return ids, nil
+}
+
+// LatencyBucketMillis is the Figure 9 histogram bucket width.
+const LatencyBucketMillis = 5
+
+// LoadResult summarizes a closed-loop load run.
+type LoadResult struct {
+	Requests   int
+	Elapsed    time.Duration
+	Throughput float64 // requests per second
+	// Buckets[i] counts requests with latency in [5i, 5(i+1)) ms.
+	Buckets []int
+	// MeanLatency is the mean end-to-end latency.
+	MeanLatency time.Duration
+	// IndexBusyFraction is the index server's CPU-utilization proxy.
+	IndexBusyFraction float64
+}
+
+// FractionWithin returns the fraction of requests completing within d.
+func (r *LoadResult) FractionWithin(d time.Duration) float64 {
+	if r.Requests == 0 {
+		return 0
+	}
+	limit := int(d / (LatencyBucketMillis * time.Millisecond))
+	n := 0
+	for i := 0; i < limit && i < len(r.Buckets); i++ {
+		n += r.Buckets[i]
+	}
+	return float64(n) / float64(r.Requests)
+}
+
+// RunLoad drives numRequests queries from the stream through the two-server
+// deployment using a closed loop of `concurrency` workers, measuring the
+// latency distribution and throughput. indexSrv is consulted for the busy
+// fraction.
+func RunLoad(indexSrv *Server, adAddr string, stream []*workload.Query, concurrency int, indexAddr string) (*LoadResult, error) {
+	if concurrency < 1 {
+		concurrency = 1
+	}
+	var mu sync.Mutex
+	res := &LoadResult{}
+	var totalLatency time.Duration
+	next := int64(-1)
+	var firstErr error
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			client, err := Dial(indexAddr, adAddr)
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+				return
+			}
+			defer client.Close()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= len(stream) {
+					return
+				}
+				q := joinQuery(stream[i].Words)
+				t0 := time.Now()
+				if _, err := client.Query(q); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+				lat := time.Since(t0)
+				bucket := int(lat / (LatencyBucketMillis * time.Millisecond))
+				mu.Lock()
+				for len(res.Buckets) <= bucket {
+					res.Buckets = append(res.Buckets, 0)
+				}
+				res.Buckets[bucket]++
+				res.Requests++
+				totalLatency += lat
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	res.Elapsed = time.Since(start)
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if res.Requests > 0 {
+		res.Throughput = float64(res.Requests) / res.Elapsed.Seconds()
+		res.MeanLatency = totalLatency / time.Duration(res.Requests)
+	}
+	res.IndexBusyFraction = indexSrv.BusyFraction(res.Elapsed)
+	return res, nil
+}
+
+func joinQuery(words []string) string {
+	out := ""
+	for i, w := range words {
+		if i > 0 {
+			out += " "
+		}
+		out += w
+	}
+	return out
+}

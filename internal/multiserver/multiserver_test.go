@@ -1,0 +1,278 @@
+package multiserver
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+	"time"
+
+	"adindex/internal/core"
+	"adindex/internal/corpus"
+	"adindex/internal/invindex"
+	"adindex/internal/textnorm"
+	"adindex/internal/workload"
+)
+
+func testSetup(t testing.TB, nAds int) (*corpus.Corpus, *core.Index, *invindex.Unmodified) {
+	t.Helper()
+	c := corpus.Generate(corpus.GenOptions{NumAds: nAds, Seed: 51})
+	return c, core.New(c.Ads, core.Options{}), invindex.NewUnmodified(c.Ads)
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	ids := []uint64{1, 99, 1 << 40}
+	back, err := decodeIDs(encodeIDs(ids))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, ids) {
+		t.Fatalf("round trip: %v", back)
+	}
+	empty, err := decodeIDs(encodeIDs(nil))
+	if err != nil || len(empty) != 0 {
+		t.Fatalf("empty round trip: %v %v", empty, err)
+	}
+	if _, err := decodeIDs([]byte{1, 2}); err == nil {
+		t.Error("short frame accepted")
+	}
+	if _, err := decodeIDs([]byte{0, 0, 0, 2, 1}); err == nil {
+		t.Error("mismatched frame accepted")
+	}
+}
+
+func TestEndToEndQuery(t *testing.T) {
+	c, ix, _ := testSetup(t, 500)
+	indexSrv, err := NewIndexServer("127.0.0.1:0", ServeOpts{}, CoreBackend{Index: ix})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer indexSrv.Close()
+	adSrv, err := NewAdServer("127.0.0.1:0", ServeOpts{}, c.Ads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer adSrv.Close()
+
+	client, err := Dial(indexSrv.Addr(), adSrv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	// Query with a known ad's phrase plus noise: the ad must be returned.
+	target := &c.Ads[7]
+	ids, err := client.Query(target.Phrase + " extraword")
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, id := range ids {
+		if id == target.ID {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("query for %q did not return ad %d (got %v)", target.Phrase, target.ID, ids)
+	}
+	// Server-side results must equal local results.
+	local := ix.BroadMatchText(target.Phrase+" extraword", nil)
+	localIDs := make([]uint64, len(local))
+	for i, ad := range local {
+		localIDs[i] = ad.ID
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	if !reflect.DeepEqual(ids, localIDs) {
+		t.Errorf("remote %v != local %v", ids, localIDs)
+	}
+	if indexSrv.Requests() != 1 || adSrv.Requests() != 1 {
+		t.Errorf("request counts: index=%d ad=%d", indexSrv.Requests(), adSrv.Requests())
+	}
+}
+
+func TestBothBackendsAgree(t *testing.T) {
+	c, ix, inv := testSetup(t, 800)
+	coreB := CoreBackend{Index: ix}
+	invB := InvertedBackend{Index: inv}
+	wl := workload.Generate(c, workload.GenOptions{NumQueries: 100, Seed: 52})
+	for i := range wl.Queries {
+		q := joinQuery(wl.Queries[i].Words)
+		a := coreB.MatchIDs(q)
+		b := invB.MatchIDs(q)
+		sort.Slice(a, func(x, y int) bool { return a[x] < a[y] })
+		sort.Slice(b, func(x, y int) bool { return b[x] < b[y] })
+		if len(a) == 0 && len(b) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("backends disagree on %q: %v vs %v", q, a, b)
+		}
+	}
+}
+
+func TestInjectedLatency(t *testing.T) {
+	c, ix, _ := testSetup(t, 100)
+	lat := 5 * time.Millisecond
+	indexSrv, err := NewIndexServer("127.0.0.1:0", ServeOpts{Latency: lat}, CoreBackend{Index: ix})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer indexSrv.Close()
+	adSrv, err := NewAdServer("127.0.0.1:0", ServeOpts{Latency: lat}, c.Ads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer adSrv.Close()
+	client, err := Dial(indexSrv.Addr(), adSrv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	t0 := time.Now()
+	if _, err := client.Query("anything"); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(t0); elapsed < 2*lat {
+		t.Errorf("two-hop latency %v should be >= %v", elapsed, 2*lat)
+	}
+}
+
+func TestRunLoad(t *testing.T) {
+	c, ix, _ := testSetup(t, 1000)
+	indexSrv, err := NewIndexServer("127.0.0.1:0", ServeOpts{Latency: 500 * time.Microsecond}, CoreBackend{Index: ix})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer indexSrv.Close()
+	adSrv, err := NewAdServer("127.0.0.1:0", ServeOpts{Latency: 500 * time.Microsecond}, c.Ads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer adSrv.Close()
+
+	wl := workload.Generate(c, workload.GenOptions{NumQueries: 50, Seed: 53})
+	stream := wl.Stream(300, 54)
+	res, err := RunLoad(indexSrv, adSrv.Addr(), stream, 8, indexSrv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests != 300 {
+		t.Errorf("Requests = %d, want 300", res.Requests)
+	}
+	total := 0
+	for _, b := range res.Buckets {
+		total += b
+	}
+	if total != res.Requests {
+		t.Errorf("histogram sums to %d, want %d", total, res.Requests)
+	}
+	if res.Throughput <= 0 || res.MeanLatency <= 0 {
+		t.Errorf("degenerate result: %+v", res)
+	}
+	if got := res.FractionWithin(time.Hour); got != 1.0 {
+		t.Errorf("FractionWithin(1h) = %v", got)
+	}
+	if got := res.FractionWithin(0); got != 0 {
+		t.Errorf("FractionWithin(0) = %v", got)
+	}
+}
+
+// The headline Section VII-B comparison: with identical injected network
+// latency and a CPU-limited index server (the paper's server saturates at
+// 98% CPU), the hash-based index sustains higher throughput and a lower
+// busy fraction than the inverted baseline.
+func TestCoreBeatsInvertedUnderLoad(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load comparison skipped in -short mode")
+	}
+	// A corpus large enough that the inverted baseline's per-query service
+	// time dominates; no injected latency (Go sleep granularity would
+	// swamp the comparison — adbench's fig9 run uses real injected delay
+	// at millisecond scale instead). The stream uses corpus-frequent
+	// keywords: the paper's worst case for inverted indexes, where whole
+	// posting lists must be traversed per query.
+	c, ix, inv := testSetup(t, 400000)
+	stream := hotWordStream(c, 3000)
+
+	run := func(b Backend) (*LoadResult, time.Duration) {
+		opts := ServeOpts{MaxConcurrent: 1}
+		indexSrv, err := NewIndexServer("127.0.0.1:0", opts, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer indexSrv.Close()
+		adSrv, err := NewAdServer("127.0.0.1:0", ServeOpts{}, c.Ads)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer adSrv.Close()
+		res, err := RunLoad(indexSrv, adSrv.Addr(), stream, 32, indexSrv.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, indexSrv.MeanServiceTime()
+	}
+	coreRes, coreSvc := run(CoreBackend{Index: ix})
+	invRes, invSvc := run(InvertedBackend{Index: inv})
+
+	// Per-request service time is the contention-robust comparison (the
+	// whole test suite may be hammering every CPU in parallel); wall-clock
+	// throughput under that contention is informational only.
+	if coreSvc >= invSvc {
+		t.Errorf("core service time %v should be below inverted %v", coreSvc, invSvc)
+	}
+	if coreRes.IndexBusyFraction >= invRes.IndexBusyFraction {
+		t.Errorf("core busy %.3f should be below inverted %.3f",
+			coreRes.IndexBusyFraction, invRes.IndexBusyFraction)
+	}
+	t.Logf("throughput: core %.0f req/s vs inverted %.0f req/s (informational)",
+		coreRes.Throughput, invRes.Throughput)
+}
+
+// hotWordStream builds a query stream over the corpus's most frequent
+// keywords (3-word combinations of the top 12 words).
+func hotWordStream(c *corpus.Corpus, n int) []*workload.Query {
+	wc := c.WordCounts()
+	type wf struct {
+		w string
+		f int
+	}
+	var freqs []wf
+	for w, f := range wc {
+		freqs = append(freqs, wf{w, f})
+	}
+	sort.Slice(freqs, func(i, j int) bool {
+		if freqs[i].f != freqs[j].f {
+			return freqs[i].f > freqs[j].f
+		}
+		return freqs[i].w < freqs[j].w
+	})
+	top := freqs[:12]
+	var wl workload.Workload
+	for i := 0; i < len(top); i++ {
+		for j := i + 1; j < len(top); j++ {
+			for k := j + 1; k < len(top); k++ {
+				wl.Queries = append(wl.Queries, workload.Query{
+					Words: textnorm.CanonicalSet([]string{top[i].w, top[j].w, top[k].w}),
+					Freq:  1,
+				})
+			}
+		}
+	}
+	return wl.Stream(n, 57)
+}
+
+func TestServerCloseIdempotentish(t *testing.T) {
+	c, ix, _ := testSetup(t, 10)
+	srv, err := NewIndexServer("127.0.0.1:0", ServeOpts{}, CoreBackend{Index: ix})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = c
+	if err := srv.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	// Dialing a closed server fails (eventually).
+	if conn, err := Dial(srv.Addr(), srv.Addr()); err == nil {
+		conn.Close()
+	}
+}

@@ -1,0 +1,65 @@
+package optimize
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"adindex/internal/textnorm"
+)
+
+// Mapping persistence: Section VI recommends recomputing the optimized
+// mapping periodically, potentially on a separate machine. The text format
+// lets an offline optimizer (cmd/adopt) ship mappings to serving
+// processes:
+//
+//	words-of-set<TAB>words-of-locator
+//
+// with words space-separated and canonical.
+
+// WriteMapping serializes a mapping produced by the optimizer.
+func WriteMapping(w io.Writer, mapping map[string][]string) error {
+	bw := bufio.NewWriter(w)
+	for key, loc := range mapping {
+		if _, err := fmt.Fprintf(bw, "%s\t%s\n",
+			strings.Join(textnorm.SplitKey(key), " "), strings.Join(loc, " ")); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadMapping parses a mapping written by WriteMapping, validating that
+// every locator is a non-empty subset of its word set.
+func ReadMapping(r io.Reader) (map[string][]string, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	mapping := make(map[string][]string)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		parts := strings.SplitN(line, "\t", 2)
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("optimize: mapping line %d: expected set<TAB>locator", lineNo)
+		}
+		words := textnorm.CanonicalSet(strings.Fields(parts[0]))
+		loc := textnorm.CanonicalSet(strings.Fields(parts[1]))
+		if len(words) == 0 || len(loc) == 0 {
+			return nil, fmt.Errorf("optimize: mapping line %d: empty set or locator", lineNo)
+		}
+		if !textnorm.IsSubset(loc, words) {
+			return nil, fmt.Errorf("optimize: mapping line %d: locator %v not a subset of %v",
+				lineNo, loc, words)
+		}
+		mapping[textnorm.SetKey(words)] = loc
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("optimize: reading mapping: %w", err)
+	}
+	return mapping, nil
+}

@@ -1,0 +1,51 @@
+package optimize
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"adindex/internal/corpus"
+	"adindex/internal/workload"
+)
+
+func TestMappingRoundTrip(t *testing.T) {
+	c := corpus.Generate(corpus.GenOptions{NumAds: 600, Seed: 121})
+	wl := workload.Generate(c, workload.GenOptions{NumQueries: 300, Seed: 122})
+	gs := BuildGroups(c.Ads, wl)
+	res := Optimize(gs, Options{MaxWords: 10})
+	var buf bytes.Buffer
+	if err := WriteMapping(&buf, res.Mapping); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadMapping(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Mapping, back) {
+		t.Fatal("mapping round trip mismatch")
+	}
+}
+
+func TestReadMappingErrors(t *testing.T) {
+	bad := []string{
+		"no tab here\n",
+		"a b\tz\n", // locator not a subset
+		"\tx\n",    // empty set
+		"a b\t\n",  // empty locator
+	}
+	for _, s := range bad {
+		if _, err := ReadMapping(strings.NewReader(s)); err == nil {
+			t.Errorf("ReadMapping(%q) should fail", s)
+		}
+	}
+	// Valid line with unordered words is canonicalized.
+	m, err := ReadMapping(strings.NewReader("b a\ta\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 1 {
+		t.Fatalf("m = %v", m)
+	}
+}

@@ -1,0 +1,72 @@
+package shard
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"adindex/internal/multiserver"
+)
+
+// NetClient fans broad-match queries out to several remote index servers
+// (multiserver protocol) and merges their ID lists — the networked form of
+// the Section VII-B split deployment.
+type NetClient struct {
+	mu      sync.Mutex
+	clients []*multiserver.Client
+}
+
+// DialShards connects to every index-server address. All shards share one
+// ad-metadata server (adAddr); pass the index address itself if metadata
+// is co-located.
+func DialShards(indexAddrs []string, adAddr string) (*NetClient, error) {
+	if len(indexAddrs) == 0 {
+		return nil, fmt.Errorf("shard: no index servers given")
+	}
+	nc := &NetClient{}
+	for _, addr := range indexAddrs {
+		c, err := multiserver.Dial(addr, adAddr)
+		if err != nil {
+			nc.Close()
+			return nil, fmt.Errorf("shard: dialing %s: %w", addr, err)
+		}
+		nc.clients = append(nc.clients, c)
+	}
+	return nc, nil
+}
+
+// Close closes all shard connections.
+func (nc *NetClient) Close() {
+	for _, c := range nc.clients {
+		if c != nil {
+			c.Close()
+		}
+	}
+}
+
+// Query runs the query on every shard concurrently and returns the merged,
+// ID-ordered match list. The first shard error aborts the query.
+func (nc *NetClient) Query(query string) ([]uint64, error) {
+	results := make([][]uint64, len(nc.clients))
+	errs := make([]error, len(nc.clients))
+	var wg sync.WaitGroup
+	for i, c := range nc.clients {
+		wg.Add(1)
+		go func(i int, c *multiserver.Client) {
+			defer wg.Done()
+			results[i], errs[i] = c.Query(query)
+		}(i, c)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	var out []uint64
+	for _, ids := range results {
+		out = append(out, ids...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}

@@ -1,0 +1,144 @@
+// Package shard partitions an advertisement corpus across several
+// broad-match indexes and fans queries out to all of them. Section VII-B
+// motivates this deployment: "In scenarios where the size of the ad corpus
+// or the index itself is too large to fit into the main memory of a single
+// machine, it becomes necessary to split the data across servers."
+//
+// Because broad match gives no way to route a query to a subset of shards
+// (any shard may hold matching ads), every query visits every shard; the
+// win is capacity and parallelism, not per-query work. Ads are routed to
+// shards by word-set hash so that all ads sharing a word set — and
+// therefore any future re-mapping groups — stay co-located (mapping
+// condition IV holds per shard).
+package shard
+
+import (
+	"fmt"
+	"sync"
+
+	"adindex/internal/core"
+	"adindex/internal/corpus"
+	"adindex/internal/costmodel"
+	"adindex/internal/textnorm"
+)
+
+// Cluster is an in-process sharded broad-match index.
+type Cluster struct {
+	shards []*core.Index
+	opts   core.Options
+}
+
+// New partitions ads across numShards indexes by word-set hash.
+func New(ads []corpus.Ad, numShards int, opts core.Options) (*Cluster, error) {
+	if numShards < 1 {
+		return nil, fmt.Errorf("shard: numShards must be >= 1, got %d", numShards)
+	}
+	parts := make([][]corpus.Ad, numShards)
+	for i := range ads {
+		s := shardOf(ads[i].Words, numShards)
+		parts[s] = append(parts[s], ads[i])
+	}
+	c := &Cluster{opts: opts}
+	for _, part := range parts {
+		c.shards = append(c.shards, core.New(part, opts))
+	}
+	return c, nil
+}
+
+// shardOf routes a word set to its shard.
+func shardOf(words []string, numShards int) int {
+	return int(core.WordHash(words) % uint64(numShards))
+}
+
+// NumShards returns the number of shards.
+func (c *Cluster) NumShards() int { return len(c.shards) }
+
+// NumAds returns the total indexed ads across shards.
+func (c *Cluster) NumAds() int {
+	n := 0
+	for _, s := range c.shards {
+		n += s.NumAds()
+	}
+	return n
+}
+
+// Shard exposes an individual shard index (e.g. for per-shard
+// optimization).
+func (c *Cluster) Shard(i int) *core.Index { return c.shards[i] }
+
+// BroadMatch fans the query out to every shard in parallel and merges the
+// per-shard results by ID. counters, when non-nil, accumulates the summed
+// access accounting of all shards (with Queries counted once).
+func (c *Cluster) BroadMatch(queryWords []string, counters *costmodel.Counters) []*corpus.Ad {
+	q := textnorm.CanonicalSet(queryWords)
+	results := make([][]*corpus.Ad, len(c.shards))
+	perShard := make([]costmodel.Counters, len(c.shards))
+	var wg sync.WaitGroup
+	for i, s := range c.shards {
+		wg.Add(1)
+		go func(i int, s *core.Index) {
+			defer wg.Done()
+			var cc *costmodel.Counters
+			if counters != nil {
+				cc = &perShard[i]
+			}
+			results[i] = s.BroadMatch(q, cc)
+		}(i, s)
+	}
+	wg.Wait()
+	if counters != nil {
+		for i := range perShard {
+			perShard[i].Queries = 0
+			counters.Add(perShard[i])
+		}
+		counters.Queries++
+	}
+	return mergeByID(results)
+}
+
+// BroadMatchText is BroadMatch on raw query text.
+func (c *Cluster) BroadMatchText(query string, counters *costmodel.Counters) []*corpus.Ad {
+	return c.BroadMatch(textnorm.WordSet(query), counters)
+}
+
+// Insert routes the ad to its shard.
+func (c *Cluster) Insert(ad corpus.Ad) {
+	c.shards[shardOf(ad.Words, len(c.shards))].Insert(ad)
+}
+
+// Delete removes the ad from its shard, reporting whether it was found.
+func (c *Cluster) Delete(id uint64, phrase string) bool {
+	words := textnorm.WordSet(phrase)
+	if len(words) == 0 {
+		return false
+	}
+	return c.shards[shardOf(words, len(c.shards))].Delete(id, phrase)
+}
+
+// mergeByID k-way merges per-shard result lists (each already ordered by
+// ID) into one ID-ordered list.
+func mergeByID(lists [][]*corpus.Ad) []*corpus.Ad {
+	total := 0
+	for _, l := range lists {
+		total += len(l)
+	}
+	if total == 0 {
+		return nil
+	}
+	out := make([]*corpus.Ad, 0, total)
+	idx := make([]int, len(lists))
+	for len(out) < total {
+		best := -1
+		for i, l := range lists {
+			if idx[i] >= len(l) {
+				continue
+			}
+			if best < 0 || l[idx[i]].ID < lists[best][idx[best]].ID {
+				best = i
+			}
+		}
+		out = append(out, lists[best][idx[best]])
+		idx[best]++
+	}
+	return out
+}

@@ -1,0 +1,279 @@
+package shard
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"adindex/internal/core"
+	"adindex/internal/corpus"
+	"adindex/internal/costmodel"
+	"adindex/internal/multiserver"
+	"adindex/internal/textnorm"
+	"adindex/internal/workload"
+)
+
+func ids(ads []*corpus.Ad) []uint64 {
+	out := make([]uint64, 0, len(ads))
+	for _, a := range ads {
+		out = append(out, a.ID)
+	}
+	return out
+}
+
+func TestClusterEquivalence(t *testing.T) {
+	c := corpus.Generate(corpus.GenOptions{NumAds: 3000, Seed: 131})
+	single := core.New(c.Ads, core.Options{})
+	for _, n := range []int{1, 2, 4, 7} {
+		cluster, err := New(c.Ads, n, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cluster.NumShards() != n || cluster.NumAds() != len(c.Ads) {
+			t.Fatalf("n=%d: shards=%d ads=%d", n, cluster.NumShards(), cluster.NumAds())
+		}
+		wl := workload.Generate(c, workload.GenOptions{NumQueries: 150, Seed: 132})
+		for qi := range wl.Queries {
+			q := wl.Queries[qi].Words
+			want := ids(single.BroadMatch(q, nil))
+			got := ids(cluster.BroadMatch(q, nil))
+			if len(want) == 0 && len(got) == 0 {
+				continue
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("n=%d query %v: %v vs %v", n, q, got, want)
+			}
+		}
+	}
+}
+
+func TestClusterCounters(t *testing.T) {
+	c := corpus.Generate(corpus.GenOptions{NumAds: 500, Seed: 133})
+	cluster, err := New(c.Ads, 3, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var counters costmodel.Counters
+	cluster.BroadMatch(c.Ads[0].Words, &counters)
+	if counters.Queries != 1 {
+		t.Errorf("Queries = %d, want 1 (not per shard)", counters.Queries)
+	}
+	if counters.HashProbes == 0 {
+		t.Errorf("no probe accounting: %+v", counters)
+	}
+}
+
+func TestClusterInsertDelete(t *testing.T) {
+	cluster, err := New(nil, 4, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster.Insert(corpus.NewAd(1, "red shoes", corpus.Meta{}))
+	cluster.Insert(corpus.NewAd(2, "blue shoes", corpus.Meta{}))
+	got := ids(cluster.BroadMatchText("red blue shoes", nil))
+	if !reflect.DeepEqual(got, []uint64{1, 2}) {
+		t.Fatalf("got %v", got)
+	}
+	if !cluster.Delete(1, "red shoes") {
+		t.Fatal("delete failed")
+	}
+	if cluster.Delete(1, "red shoes") {
+		t.Fatal("double delete succeeded")
+	}
+	if cluster.Delete(5, "") {
+		t.Fatal("empty phrase delete succeeded")
+	}
+	got = ids(cluster.BroadMatchText("red blue shoes", nil))
+	if !reflect.DeepEqual(got, []uint64{2}) {
+		t.Fatalf("after delete: %v", got)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, 0, core.Options{}); err == nil {
+		t.Error("0 shards accepted")
+	}
+}
+
+func TestCoLocationByWordSet(t *testing.T) {
+	// Ads sharing a word set must land on one shard (condition IV).
+	ads := []corpus.Ad{
+		corpus.NewAd(1, "cheap books", corpus.Meta{}),
+		corpus.NewAd(2, "books cheap", corpus.Meta{}),
+		corpus.NewAd(3, "cheap books", corpus.Meta{}),
+	}
+	cluster, err := New(ads, 8, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nonEmpty := 0
+	for i := 0; i < cluster.NumShards(); i++ {
+		if cluster.Shard(i).NumAds() > 0 {
+			nonEmpty++
+			if cluster.Shard(i).NumAds() != 3 {
+				t.Errorf("shard %d has %d ads, want all 3 together", i, cluster.Shard(i).NumAds())
+			}
+		}
+	}
+	if nonEmpty != 1 {
+		t.Errorf("word set split across %d shards", nonEmpty)
+	}
+}
+
+func TestMergeByID(t *testing.T) {
+	a1 := &corpus.Ad{ID: 1}
+	a3 := &corpus.Ad{ID: 3}
+	a5 := &corpus.Ad{ID: 5}
+	a7 := &corpus.Ad{ID: 7}
+	got := mergeByID([][]*corpus.Ad{{a3, a7}, {a1, a5}, nil})
+	if !reflect.DeepEqual(ids(got), []uint64{1, 3, 5, 7}) {
+		t.Errorf("merge: %v", ids(got))
+	}
+	if mergeByID(nil) != nil {
+		t.Error("empty merge should be nil")
+	}
+}
+
+func TestNetShardedQuery(t *testing.T) {
+	c := corpus.Generate(corpus.GenOptions{NumAds: 1500, Seed: 134})
+	single := core.New(c.Ads, core.Options{})
+
+	// Three index shards plus one shared ad server.
+	cluster, err := New(c.Ads, 3, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var addrs []string
+	for i := 0; i < cluster.NumShards(); i++ {
+		srv, err := multiserver.NewIndexServer("127.0.0.1:0", multiserver.ServeOpts{},
+			multiserver.CoreBackend{Index: cluster.Shard(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer srv.Close()
+		addrs = append(addrs, srv.Addr())
+	}
+	adSrv, err := multiserver.NewAdServer("127.0.0.1:0", multiserver.ServeOpts{}, c.Ads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer adSrv.Close()
+
+	nc, err := DialShards(addrs, adSrv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+
+	wl := workload.Generate(c, workload.GenOptions{NumQueries: 80, Seed: 135})
+	for qi := range wl.Queries {
+		q := joinWords(wl.Queries[qi].Words)
+		want := ids(single.BroadMatchText(q, nil))
+		got, err := nc.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(want) == 0 && len(got) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("query %q: %v vs %v", q, got, want)
+		}
+	}
+}
+
+func TestNetShardedFailure(t *testing.T) {
+	c := corpus.Generate(corpus.GenOptions{NumAds: 100, Seed: 136})
+	cluster, err := New(c.Ads, 2, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv0, err := multiserver.NewIndexServer("127.0.0.1:0", multiserver.ServeOpts{},
+		multiserver.CoreBackend{Index: cluster.Shard(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv1, err := multiserver.NewIndexServer("127.0.0.1:0", multiserver.ServeOpts{},
+		multiserver.CoreBackend{Index: cluster.Shard(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv1.Close()
+	adSrv, err := multiserver.NewAdServer("127.0.0.1:0", multiserver.ServeOpts{}, c.Ads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer adSrv.Close()
+
+	nc, err := DialShards([]string{srv0.Addr(), srv1.Addr()}, adSrv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	if _, err := nc.Query("anything"); err != nil {
+		t.Fatalf("healthy query failed: %v", err)
+	}
+	// Kill shard 0: subsequent queries must surface an error, not silently
+	// return partial results.
+	srv0.Close()
+	if _, err := nc.Query("anything"); err == nil {
+		t.Fatal("query with a dead shard should fail")
+	}
+}
+
+func TestDialShardsErrors(t *testing.T) {
+	if _, err := DialShards(nil, "127.0.0.1:1"); err == nil {
+		t.Error("no shards accepted")
+	}
+	if _, err := DialShards([]string{"127.0.0.1:1"}, "127.0.0.1:1"); err == nil {
+		t.Error("unreachable shard accepted")
+	}
+}
+
+// Property: any shard count yields the same result set as one shard.
+func TestShardCountInvarianceQuick(t *testing.T) {
+	c := corpus.Generate(corpus.GenOptions{NumAds: 400, Seed: 137})
+	single := core.New(c.Ads, core.Options{})
+	vocab := c.Vocabulary()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(9)
+		cluster, err := New(c.Ads, n, core.Options{})
+		if err != nil {
+			return false
+		}
+		for trial := 0; trial < 5; trial++ {
+			var qw []string
+			for j := 1 + rng.Intn(5); j > 0; j-- {
+				qw = append(qw, vocab[rng.Intn(len(vocab))])
+			}
+			q := textnorm.CanonicalSet(qw)
+			a := ids(single.BroadMatch(q, nil))
+			b := ids(cluster.BroadMatch(q, nil))
+			if len(a) != len(b) {
+				return false
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func joinWords(ws []string) string {
+	out := ""
+	for i, w := range ws {
+		if i > 0 {
+			out += " "
+		}
+		out += w
+	}
+	return out
+}

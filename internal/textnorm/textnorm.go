@@ -1,0 +1,160 @@
+// Package textnorm provides the text normalization used by the broad-match
+// index: tokenization of bid phrases and queries, case folding, and the
+// duplicate-occurrence folding described in Section III-B of the paper
+// ("Talk Talk" becomes the single token "talk_talk" so that repeated words
+// must occur with the same multiplicity in both bid and query).
+package textnorm
+
+import (
+	"sort"
+	"strings"
+	"unicode"
+)
+
+// Tokenize splits s into lowercase word tokens. A token is a maximal run of
+// letters, digits, and apostrophes; every other rune is a separator. The
+// original token order is preserved (needed for phrase match).
+func Tokenize(s string) []string {
+	if s == "" {
+		return nil
+	}
+	tokens := make([]string, 0, 8)
+	start := -1
+	lower := strings.ToLower(s)
+	for i, r := range lower {
+		if isWordRune(r) {
+			if start < 0 {
+				start = i
+			}
+			continue
+		}
+		if start >= 0 {
+			tokens = append(tokens, lower[start:i])
+			start = -1
+		}
+	}
+	if start >= 0 {
+		tokens = append(tokens, lower[start:])
+	}
+	if len(tokens) == 0 {
+		return nil
+	}
+	return tokens
+}
+
+func isWordRune(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '\''
+}
+
+// FoldDuplicates implements the multiple-occurrence semantics of the paper:
+// a word occurring k>1 times is replaced by a single synthetic token formed
+// by joining the k occurrences with underscores ("talk talk" -> "talk_talk").
+// The relative order of first occurrences is preserved. The result contains
+// each distinct token exactly once.
+func FoldDuplicates(tokens []string) []string {
+	if len(tokens) == 0 {
+		return nil
+	}
+	counts := make(map[string]int, len(tokens))
+	for _, t := range tokens {
+		counts[t]++
+	}
+	out := make([]string, 0, len(counts))
+	seen := make(map[string]bool, len(counts))
+	for _, t := range tokens {
+		if seen[t] {
+			continue
+		}
+		seen[t] = true
+		if n := counts[t]; n > 1 {
+			out = append(out, foldedToken(t, n))
+		} else {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+func foldedToken(t string, n int) string {
+	var b strings.Builder
+	b.Grow(len(t)*n + n - 1)
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			b.WriteByte('_')
+		}
+		b.WriteString(t)
+	}
+	return b.String()
+}
+
+// WordSet converts a raw phrase or query string into its canonical word set:
+// tokenized, duplicate-folded, sorted, and deduplicated. Broad-match
+// processing operates exclusively on canonical word sets.
+func WordSet(s string) []string {
+	return CanonicalSet(FoldDuplicates(Tokenize(s)))
+}
+
+// CanonicalSet sorts a copy of words and removes duplicates, producing the
+// canonical representation of a word set.
+func CanonicalSet(words []string) []string {
+	if len(words) == 0 {
+		return nil
+	}
+	out := make([]string, len(words))
+	copy(out, words)
+	sort.Strings(out)
+	j := 0
+	for i := 1; i < len(out); i++ {
+		if out[i] != out[j] {
+			j++
+			out[j] = out[i]
+		}
+	}
+	return out[:j+1]
+}
+
+// IsSubset reports whether every element of sub occurs in super. Both
+// arguments must be canonical (sorted, deduplicated) word sets.
+func IsSubset(sub, super []string) bool {
+	if len(sub) > len(super) {
+		return false
+	}
+	i := 0
+	for _, w := range sub {
+		for i < len(super) && super[i] < w {
+			i++
+		}
+		if i >= len(super) || super[i] != w {
+			return false
+		}
+		i++
+	}
+	return true
+}
+
+// SetEqual reports whether two canonical word sets are identical.
+func SetEqual(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// SetKey joins a canonical word set into a single string key usable as a Go
+// map key. The unit separator (0x1f) cannot occur inside tokens.
+func SetKey(words []string) string {
+	return strings.Join(words, "\x1f")
+}
+
+// SplitKey is the inverse of SetKey.
+func SplitKey(key string) []string {
+	if key == "" {
+		return nil
+	}
+	return strings.Split(key, "\x1f")
+}

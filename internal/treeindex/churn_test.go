@@ -1,0 +1,105 @@
+package treeindex
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"adindex/internal/corpus"
+	"adindex/internal/textnorm"
+)
+
+func TestInsertDelete(t *testing.T) {
+	ix := New(nil, Options{})
+	ix.Insert(corpus.NewAd(1, "cheap books", corpus.Meta{}))
+	ix.Insert(corpus.NewAd(2, "cheap used books", corpus.Meta{}))
+	ix.Insert(corpus.NewAd(3, "cheap books", corpus.Meta{}))
+	if ix.NumAds() != 3 {
+		t.Fatalf("NumAds = %d", ix.NumAds())
+	}
+	got := ids(ix.BroadMatchText("cheap used books", nil))
+	if !reflect.DeepEqual(got, []uint64{1, 2, 3}) {
+		t.Fatalf("got %v", got)
+	}
+	if !ix.Delete(2, "cheap used books") {
+		t.Fatal("delete failed")
+	}
+	if ix.Delete(2, "cheap used books") {
+		t.Fatal("double delete succeeded")
+	}
+	if ix.Delete(99, "no such phrase") {
+		t.Fatal("deleting unknown succeeded")
+	}
+	got = ids(ix.BroadMatchText("cheap used books", nil))
+	if !reflect.DeepEqual(got, []uint64{1, 3}) {
+		t.Fatalf("after delete: %v", got)
+	}
+	ix.Delete(1, "cheap books")
+	ix.Delete(3, "cheap books")
+	if ix.NumAds() != 0 {
+		t.Fatalf("NumAds = %d after emptying", ix.NumAds())
+	}
+	// Trie fully pruned: only the root remains.
+	if s := ix.Stats(); s.TrieNodes != 1 || s.DataNodes != 0 {
+		t.Errorf("trie not pruned: %+v", s)
+	}
+}
+
+// Property: random insert/delete churn stays equivalent to a reference
+// scan, and pruning keeps the trie minimal.
+func TestChurnQuick(t *testing.T) {
+	phrases := []string{"a", "b", "a b", "b c", "a b c", "c d e", "a a", "d e f g h"}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ix := New(nil, Options{MaxWords: 3})
+		live := make(map[uint64]string)
+		next := uint64(1)
+		for step := 0; step < 50; step++ {
+			if len(live) == 0 || rng.Intn(3) > 0 {
+				p := phrases[rng.Intn(len(phrases))]
+				ix.Insert(corpus.NewAd(next, p, corpus.Meta{}))
+				live[next] = p
+				next++
+			} else {
+				for id, p := range live {
+					if !ix.Delete(id, p) {
+						return false
+					}
+					delete(live, id)
+					break
+				}
+			}
+		}
+		if ix.NumAds() != len(live) {
+			return false
+		}
+		queries := [][]string{{"a"}, {"a", "b"}, {"a", "b", "c"}, {"c", "d", "e"},
+			{"a_a"}, {"d", "e", "f", "g", "h"}}
+		for _, q := range queries {
+			got := ids(ix.BroadMatch(q, nil))
+			var want []uint64
+			for id, p := range live {
+				if textnorm.IsSubset(textnorm.WordSet(p), q) {
+					want = append(want, id)
+				}
+			}
+			if len(got) != len(want) {
+				return false
+			}
+			seen := make(map[uint64]bool, len(want))
+			for _, id := range want {
+				seen[id] = true
+			}
+			for _, id := range got {
+				if !seen[id] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

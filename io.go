@@ -1,0 +1,32 @@
+package adindex
+
+import (
+	"io"
+
+	"adindex/internal/corpus"
+)
+
+// WriteAds serializes ads in the line-oriented text format used by the
+// CLI tools (one tab-separated ad per line); ReadAds is the inverse.
+// The format is documented in cmd/adgen.
+func WriteAds(w io.Writer, ads []Ad) error {
+	c := corpus.Corpus{Ads: ads}
+	return c.Write(w)
+}
+
+// ReadAds parses ads from the text format produced by WriteAds.
+func ReadAds(r io.Reader) ([]Ad, error) {
+	c, err := corpus.Read(r)
+	if err != nil {
+		return nil, err
+	}
+	return c.Ads, nil
+}
+
+// GenerateAds produces a deterministic synthetic corpus with the
+// distributional properties of real advertisement corpora (short bids
+// peaking at 3 words, Zipf word-set multiplicity, keyword skew). Useful
+// for testing and capacity planning; see the adgen tool for a CLI.
+func GenerateAds(n int, seed int64) []Ad {
+	return corpus.Generate(corpus.GenOptions{NumAds: n, Seed: seed}).Ads
+}

@@ -1,0 +1,93 @@
+package adindex
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestWriteReadAds(t *testing.T) {
+	ads := GenerateAds(200, 7)
+	var buf bytes.Buffer
+	if err := WriteAds(&buf, ads); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadAds(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ads, back) {
+		t.Fatal("ads round trip mismatch")
+	}
+}
+
+func TestReadAdsError(t *testing.T) {
+	if _, err := ReadAds(strings.NewReader("garbage line\n")); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestGenerateAdsDeterministic(t *testing.T) {
+	a := GenerateAds(100, 3)
+	b := GenerateAds(100, 3)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed differs")
+	}
+	if len(a) != 100 {
+		t.Fatalf("len = %d", len(a))
+	}
+}
+
+func TestCompressedExactPhraseMatch(t *testing.T) {
+	ix := Build([]Ad{
+		NewAd(1, "used books", Meta{}),
+		NewAd(2, "books used", Meta{}),
+		NewAd(3, "cheap used books", Meta{}),
+	}, Options{})
+	snap, err := ix.Snapshot(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := snap.ExactMatch("used books")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(idsOf(exact), []uint64{1}) {
+		t.Errorf("ExactMatch = %v", idsOf(exact))
+	}
+	phrase, err := snap.PhraseMatch("buy used books today")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(idsOf(phrase), []uint64{1}) {
+		t.Errorf("PhraseMatch = %v", idsOf(phrase))
+	}
+	// Compressed match types agree with the live index across a corpus.
+	ads := GenerateAds(800, 9)
+	live := Build(ads, Options{})
+	snap2, err := live.Snapshot(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		q := ads[i*7%len(ads)].Phrase
+		wantE := idsOf(live.ExactMatch(q))
+		gotE, err := snap2.ExactMatch(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameIDs(idsOf(gotE), wantE) {
+			t.Fatalf("exact diverged on %q: %v vs %v", q, idsOf(gotE), wantE)
+		}
+		long := "extra " + q + " words"
+		wantP := idsOf(live.PhraseMatch(long))
+		gotP, err := snap2.PhraseMatch(long)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameIDs(idsOf(gotP), wantP) {
+			t.Fatalf("phrase diverged on %q: %v vs %v", long, idsOf(gotP), wantP)
+		}
+	}
+}

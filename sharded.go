@@ -1,0 +1,53 @@
+package adindex
+
+import (
+	"adindex/internal/core"
+	"adindex/internal/shard"
+)
+
+// ShardedIndex partitions the corpus across several independent indexes
+// and fans each query out to all of them in parallel (the scale-out
+// deployment of the paper's Section VII-B). Ads sharing a word set stay
+// co-located, so per-shard re-mapping remains valid.
+//
+// ShardedIndex is safe for concurrent use with the same caveats as Index.
+type ShardedIndex struct {
+	cluster *shard.Cluster
+}
+
+// NewSharded partitions ads across numShards shard indexes.
+func NewSharded(ads []Ad, numShards int, opts Options) (*ShardedIndex, error) {
+	cluster, err := shard.New(ads, numShards, core.Options{
+		MaxWords:      opts.MaxWords,
+		MaxQueryWords: opts.MaxQueryWords,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &ShardedIndex{cluster: cluster}, nil
+}
+
+// BroadMatch returns copies of all broad-matching ads, merged across
+// shards and ordered by ID.
+func (s *ShardedIndex) BroadMatch(query string) []Ad {
+	return s.BroadMatchCounted(query, nil)
+}
+
+// BroadMatchCounted is BroadMatch with summed per-shard access accounting.
+func (s *ShardedIndex) BroadMatchCounted(query string, counters *Counters) []Ad {
+	return copyMatches(s.cluster.BroadMatchText(query, counters))
+}
+
+// Insert routes the ad to its shard.
+func (s *ShardedIndex) Insert(ad Ad) { s.cluster.Insert(ad) }
+
+// Delete removes the ad from its shard, reporting whether it was found.
+func (s *ShardedIndex) Delete(id uint64, phrase string) bool {
+	return s.cluster.Delete(id, phrase)
+}
+
+// NumShards returns the shard count.
+func (s *ShardedIndex) NumShards() int { return s.cluster.NumShards() }
+
+// NumAds returns the total indexed advertisements.
+func (s *ShardedIndex) NumAds() int { return s.cluster.NumAds() }
