@@ -1,0 +1,30 @@
+# Development / CI entry points. `make check` is the gate every change
+# must pass: vet, build, the full test suite, and a race-detector pass
+# over the concurrency-heavy packages (the serving layer and the
+# multi-server harness). The race pass runs -short so the heavyweight
+# load comparison stays affordable under the detector.
+
+GO ?= go
+
+.PHONY: check vet build test race bench clean
+
+check: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -short ./internal/server ./internal/multiserver
+
+# Quick microbenchmarks for the index hot paths (not part of check).
+bench:
+	$(GO) test -bench=. -benchtime=1x -run=^$$ .
+
+clean:
+	$(GO) clean ./...

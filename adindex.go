@@ -48,6 +48,26 @@ type Options struct {
 	// CostModel drives layout optimization. Zero value selects the
 	// default (one random access ≈ 256 sequentially scanned bytes).
 	CostModel CostModel
+	// MaxObservedQueries bounds the distinct-query workload sample kept by
+	// Observe. Live traffic has an unbounded tail of distinct word sets, so
+	// without a cap the sample grows forever; at the cap, admitting a new
+	// set evicts the lowest-frequency set from a small random sample (the
+	// power-law head that Optimize cares about survives). Default
+	// DefaultMaxObservedQueries; negative disables the cap.
+	MaxObservedQueries int
+}
+
+// DefaultMaxObservedQueries is the default Options.MaxObservedQueries.
+const DefaultMaxObservedQueries = 1_000_000
+
+func (o Options) maxObserved() int {
+	if o.MaxObservedQueries == 0 {
+		return DefaultMaxObservedQueries
+	}
+	if o.MaxObservedQueries < 0 {
+		return int(^uint(0) >> 1)
+	}
+	return o.MaxObservedQueries
 }
 
 func (o Options) coreOptions() core.Options {
@@ -71,9 +91,23 @@ type Index struct {
 	core *core.Index
 	// observed accumulates the query stream for workload adaptation.
 	observed map[string]*workload.Query
-	// mutations counts Insert/Delete operations, letting Optimize detect
-	// concurrent churn while it computes outside the lock.
+	// mutations counts Insert/Delete/Optimize/ApplyMapping operations. It
+	// doubles as the index epoch: external result caches key their entries
+	// by it so a mutation implicitly invalidates every cached result, and
+	// Optimize uses it to detect concurrent churn while computing outside
+	// the lock.
 	mutations uint64
+}
+
+// Epoch returns the index mutation epoch: a counter bumped by every
+// Insert, Delete, Optimize, and ApplyMapping. Result caches layered above
+// the index (see internal/server) tag entries with the epoch at which they
+// were computed and treat any entry from an older epoch as stale, so a
+// mutation invalidates all cached results without any cache traversal.
+func (ix *Index) Epoch() uint64 {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.mutations
 }
 
 // New returns an empty index.
@@ -167,7 +201,32 @@ func (ix *Index) Observe(query string) {
 		q.Freq++
 		return
 	}
+	if len(ix.observed) >= ix.opts.maxObserved() {
+		ix.evictObservedLocked()
+	}
 	ix.observed[key] = &workload.Query{Words: words, Freq: 1}
+}
+
+// evictObservedLocked removes the lowest-frequency entry among a small
+// random sample of the observed map (Go map iteration order is randomized,
+// so iterating a few entries is a cheap approximate-LFU sample). Holding
+// only a sample keeps eviction O(1) regardless of the cap.
+func (ix *Index) evictObservedLocked() {
+	const sample = 8
+	victim := ""
+	victimFreq := 0
+	n := 0
+	for key, q := range ix.observed {
+		if victim == "" || q.Freq < victimFreq {
+			victim, victimFreq = key, q.Freq
+		}
+		if n++; n >= sample {
+			break
+		}
+	}
+	if victim != "" {
+		delete(ix.observed, victim)
+	}
 }
 
 // ObservedQueries returns the number of distinct observed queries.
@@ -238,6 +297,9 @@ func (ix *Index) Optimize() (OptimizeReport, error) {
 		ModeledCostAfter:  res.ModeledCost,
 		DistinctQueries:   len(wl.Queries),
 	}
+	// Layout swaps preserve query results, but bumping the epoch anyway
+	// keeps the invalidation contract trivially conservative for caches.
+	ix.mutations++
 	ix.core = rebuilt
 	return report, nil
 }
@@ -277,6 +339,7 @@ func (ix *Index) ApplyMapping(r io.Reader) error {
 	if err != nil {
 		return err
 	}
+	ix.mutations++
 	ix.core = rebuilt
 	return nil
 }

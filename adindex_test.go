@@ -1,8 +1,10 @@
 package adindex
 
 import (
+	"bytes"
 	"fmt"
 	"reflect"
+	"strings"
 	"sync"
 	"testing"
 
@@ -350,5 +352,50 @@ func TestOptimizeConcurrentWithChurn(t *testing.T) {
 		if got := ix.BroadMatch(q); len(got) != 1 {
 			t.Fatalf("churn ad %d lost: %v", i, idsOf(got))
 		}
+	}
+}
+
+func TestEpochAdvancesOnMutation(t *testing.T) {
+	ix := Build(sampleAds(), Options{})
+	e0 := ix.Epoch()
+	ix.Insert(NewAd(50, "new phrase", Meta{}))
+	if ix.Epoch() <= e0 {
+		t.Fatal("Insert did not advance the epoch")
+	}
+	e1 := ix.Epoch()
+	ix.Delete(50, "new phrase")
+	if ix.Epoch() <= e1 {
+		t.Fatal("Delete did not advance the epoch")
+	}
+	e2 := ix.Epoch()
+	ix.Observe("used books")
+	if _, err := ix.Optimize(); err != nil {
+		t.Fatal(err)
+	}
+	if ix.Epoch() <= e2 {
+		t.Fatal("Optimize did not advance the epoch")
+	}
+}
+
+func TestObserveCapBoundsMemory(t *testing.T) {
+	ix := Build(sampleAds(), Options{MaxObservedQueries: 100})
+	// The hot query is seen often, so its frequency dwarfs the tail's.
+	for i := 0; i < 50; i++ {
+		ix.Observe("used books")
+	}
+	// A long tail of one-off queries flows past the cap.
+	for i := 0; i < 1000; i++ {
+		ix.Observe(fmt.Sprintf("rare query number %d", i))
+	}
+	if got := ix.ObservedQueries(); got > 100 {
+		t.Fatalf("observed sample grew to %d, cap is 100", got)
+	}
+	// The high-frequency head must survive sampled low-frequency eviction.
+	var buf bytes.Buffer
+	if err := ix.ExportWorkload(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "books") {
+		t.Error("hot query evicted despite its frequency")
 	}
 }

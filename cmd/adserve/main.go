@@ -1,5 +1,8 @@
 // adserve serves broad-match queries over HTTP from a corpus file produced
-// by adgen (or any file in the same TSV format).
+// by adgen (or any file in the same TSV format), through the production
+// serving layer in internal/server: sharded result cache with
+// epoch-based invalidation, admission control with load shedding,
+// JSON metrics, pprof, and graceful shutdown.
 //
 // Usage:
 //
@@ -7,23 +10,25 @@
 //	adserve -corpus corpus.tsv -addr :8077
 //	curl 'http://localhost:8077/search?q=cheap+used+books'
 //
-// Endpoints:
+// Endpoints (see internal/server):
 //
-//	/search?q=...&type=broad|exact|phrase   retrieval
+//	/search?q=...&type=broad|exact|phrase   retrieval (cached, admitted)
+//	/insert, /delete                        corpus mutations (POST JSON)
 //	/stats                                  index structure statistics
 //	/optimize                               re-optimize layout from observed queries
+//	/metrics                                serving metrics (JSON)
+//	/healthz, /readyz                       probes
+//	/debug/pprof/*                          profiling
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"log"
-	"net/http"
 	"os"
-	"strings"
 
 	"adindex"
 	"adindex/internal/corpus"
+	"adindex/internal/server"
 )
 
 func main() {
@@ -31,6 +36,14 @@ func main() {
 	mappingPath := flag.String("mapping", "", "optional mapping file from cmd/adopt to apply at startup")
 	addr := flag.String("addr", "127.0.0.1:8077", "listen address")
 	maxWords := flag.Int("max-words", 0, "max_words locator bound (0 = default 10)")
+	cacheEntries := flag.Int("cache-entries", server.DefaultCacheEntries,
+		"result cache capacity in entries (negative disables caching)")
+	maxInflight := flag.Int("max-inflight", server.DefaultMaxInflight,
+		"max concurrently executing searches; beyond this + queue, requests are shed with 503")
+	requestTimeout := flag.Duration("request-timeout", server.DefaultRequestTimeout,
+		"per-request deadline covering admission-queue wait and execution")
+	maxObserved := flag.Int("max-observed", adindex.DefaultMaxObservedQueries,
+		"cap on distinct observed queries kept for layout optimization (negative = unbounded)")
 	flag.Parse()
 	if *corpusPath == "" {
 		flag.Usage()
@@ -47,7 +60,10 @@ func main() {
 		log.Fatal(err)
 	}
 	log.Printf("loaded %d ads from %s", c.NumAds(), *corpusPath)
-	ix := adindex.Build(c.Ads, adindex.Options{MaxWords: *maxWords})
+	ix := adindex.Build(c.Ads, adindex.Options{
+		MaxWords:           *maxWords,
+		MaxObservedQueries: *maxObserved,
+	})
 	if *mappingPath != "" {
 		mf, err := os.Open(*mappingPath)
 		if err != nil {
@@ -63,46 +79,14 @@ func main() {
 	log.Printf("index ready: %d ads, %d nodes, %d distinct sets",
 		st.NumAds, st.NumNodes, st.DistinctSets)
 
-	http.HandleFunc("/search", func(w http.ResponseWriter, r *http.Request) {
-		q := r.URL.Query().Get("q")
-		if strings.TrimSpace(q) == "" {
-			http.Error(w, "missing q parameter", http.StatusBadRequest)
-			return
-		}
-		ix.Observe(q)
-		var matches []adindex.Ad
-		switch r.URL.Query().Get("type") {
-		case "", "broad":
-			matches = ix.BroadMatch(q)
-		case "exact":
-			matches = ix.ExactMatch(q)
-		case "phrase":
-			matches = ix.PhraseMatch(q)
-		default:
-			http.Error(w, "type must be broad, exact, or phrase", http.StatusBadRequest)
-			return
-		}
-		writeJSON(w, matches)
+	srv := server.New(ix, server.Config{
+		CacheEntries:   *cacheEntries,
+		MaxInflight:    *maxInflight,
+		RequestTimeout: *requestTimeout,
 	})
-	http.HandleFunc("/stats", func(w http.ResponseWriter, _ *http.Request) {
-		writeJSON(w, ix.Stats())
-	})
-	http.HandleFunc("/optimize", func(w http.ResponseWriter, _ *http.Request) {
-		report, err := ix.Optimize()
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-			return
-		}
-		writeJSON(w, report)
-	})
-
-	log.Printf("listening on http://%s", *addr)
-	log.Fatal(http.ListenAndServe(*addr, nil))
-}
-
-func writeJSON(w http.ResponseWriter, v interface{}) {
-	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(v); err != nil {
-		log.Printf("encode response: %v", err)
+	// Run binds before serving, so a bad -addr fails here with a non-zero
+	// exit instead of a goroutine logging into the void.
+	if err := srv.Run(*addr); err != nil {
+		log.Fatal(err)
 	}
 }

@@ -1,8 +1,9 @@
-// Adserver: a minimal end-to-end sponsored-search retrieval service. It
-// generates a synthetic campaign catalog, serves broad-match queries over
-// HTTP, applies the auction-side filters, and periodically re-optimizes
-// the index layout from the observed traffic — the full lifecycle the
-// paper's system would run in production.
+// Adserver: an end-to-end sponsored-search retrieval service built on the
+// production serving layer (internal/server). It generates a synthetic
+// campaign catalog, serves broad-match queries over HTTP with result
+// caching and admission control, applies the auction-side filters, and
+// periodically re-optimizes the index layout from the observed traffic —
+// the full lifecycle the paper's system would run in production.
 //
 // Run with:
 //
@@ -11,86 +12,26 @@
 // then query it:
 //
 //	curl 'http://localhost:8077/search?q=cheap+running+shoes'
-//	curl 'http://localhost:8077/stats'
+//	curl 'http://localhost:8077/metrics'
 //
 // This example also demonstrates the self-driving mode used by automated
 // tests: -demo runs a scripted session against the server and exits.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"math/rand"
-	"net"
 	"net/http"
 	"strings"
 	"time"
 
 	"adindex"
+	"adindex/internal/server"
 )
-
-type server struct {
-	ix *adindex.Index
-}
-
-type searchResponse struct {
-	Query   string     `json:"query"`
-	Matched int        `json:"matched"`
-	Winners []adResult `json:"winners"`
-	TookUS  int64      `json:"took_us"`
-}
-
-type adResult struct {
-	ID        uint64 `json:"id"`
-	Phrase    string `json:"phrase"`
-	BidMicros int64  `json:"bid_micros"`
-	ClickRate uint16 `json:"click_rate"`
-}
-
-func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
-	q := r.URL.Query().Get("q")
-	if strings.TrimSpace(q) == "" {
-		http.Error(w, "missing q parameter", http.StatusBadRequest)
-		return
-	}
-	start := time.Now()
-	s.ix.Observe(q)
-	matches := s.ix.BroadMatch(q)
-	winners := adindex.SelectAds(q, matches, adindex.Selection{
-		RankByExpectedRevenue: true,
-		MaxResults:            5,
-	})
-	resp := searchResponse{Query: q, Matched: len(matches), TookUS: time.Since(start).Microseconds()}
-	for _, ad := range winners {
-		resp.Winners = append(resp.Winners, adResult{
-			ID: ad.ID, Phrase: ad.Phrase,
-			BidMicros: ad.Meta.BidMicros, ClickRate: ad.Meta.ClickRate,
-		})
-	}
-	writeJSON(w, resp)
-}
-
-func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, s.ix.Stats())
-}
-
-func (s *server) handleOptimize(w http.ResponseWriter, _ *http.Request) {
-	report, err := s.ix.Optimize()
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-		return
-	}
-	writeJSON(w, report)
-}
-
-func writeJSON(w http.ResponseWriter, v interface{}) {
-	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(v); err != nil {
-		log.Printf("encode response: %v", err)
-	}
-}
 
 // buildCatalog synthesizes a campaign catalog with realistic phrase
 // structure: base products plus modifier variants, some with negative
@@ -132,38 +73,51 @@ func main() {
 	flag.Parse()
 
 	log.Printf("building catalog of %d ads...", *numAds)
-	s := &server{ix: adindex.Build(buildCatalog(*numAds, 1), adindex.Options{})}
-	st := s.ix.Stats()
+	ix := adindex.Build(buildCatalog(*numAds, 1), adindex.Options{})
+	st := ix.Stats()
 	log.Printf("index ready: %d ads, %d nodes", st.NumAds, st.NumNodes)
 
-	mux := http.NewServeMux()
-	mux.HandleFunc("/search", s.handleSearch)
-	mux.HandleFunc("/stats", s.handleStats)
-	mux.HandleFunc("/optimize", s.handleOptimize)
-
-	ln, err := net.Listen("tcp", *addr)
-	if err != nil {
-		log.Fatal(err)
-	}
-	log.Printf("listening on http://%s", ln.Addr())
+	srv := server.New(ix, server.Config{
+		// The auction: rank matches by expected revenue, return the top 5.
+		Selection: &adindex.Selection{
+			RankByExpectedRevenue: true,
+			MaxResults:            5,
+		},
+	})
 
 	if *optimizeEvery > 0 {
 		go func() {
 			for range time.Tick(*optimizeEvery) {
-				if report, err := s.ix.Optimize(); err == nil {
+				if report, err := ix.Optimize(); err == nil {
 					log.Printf("re-optimized: %d -> %d nodes", report.NodesBefore, report.NodesAfter)
 				}
 			}
 		}()
 	}
 
-	httpSrv := &http.Server{Handler: mux}
 	if *demo {
-		go httpSrv.Serve(ln)
-		runDemo(fmt.Sprintf("http://%s", ln.Addr()))
+		if err := srv.Start(*addr); err != nil {
+			log.Fatal(err)
+		}
+		runDemo(fmt.Sprintf("http://%s", srv.Addr()))
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Fatal(err)
+		}
 		return
 	}
-	log.Fatal(httpSrv.Serve(ln))
+	if err := srv.Run(*addr); err != nil {
+		log.Fatal(err)
+	}
+}
+
+type searchResponse struct {
+	Query   string       `json:"query"`
+	Matched int          `json:"matched"`
+	Cached  bool         `json:"cached"`
+	Ads     []adindex.Ad `json:"ads"`
+	TookUS  int64        `json:"took_us"`
 }
 
 func runDemo(base string) {
@@ -172,6 +126,7 @@ func runDemo(base string) {
 		"waterproof rain jacket for hiking",
 		"used books free shipping",
 		"best mountain bike helmet deals",
+		"cheap running shoes sale", // repeat: served from the result cache
 	}
 	for _, q := range queries {
 		resp, err := http.Get(base + "/search?q=" + strings.ReplaceAll(q, " ", "+"))
@@ -183,10 +138,10 @@ func runDemo(base string) {
 			log.Fatal(err)
 		}
 		resp.Body.Close()
-		fmt.Printf("%-40q matched=%-4d winners=%d took=%dus\n",
-			out.Query, out.Matched, len(out.Winners), out.TookUS)
-		for _, w := range out.Winners {
-			fmt.Printf("    #%d %q bid=%d\n", w.ID, w.Phrase, w.BidMicros)
+		fmt.Printf("%-40q matched=%-4d winners=%d cached=%-5v took=%dus\n",
+			out.Query, out.Matched, len(out.Ads), out.Cached, out.TookUS)
+		for _, w := range out.Ads {
+			fmt.Printf("    #%d %q bid=%d\n", w.ID, w.Phrase, w.Meta.BidMicros)
 		}
 	}
 	resp, err := http.Get(base + "/optimize")
@@ -200,4 +155,17 @@ func runDemo(base string) {
 	resp.Body.Close()
 	fmt.Printf("optimize: nodes %d -> %d, modeled cost %.0f -> %.0f\n",
 		report.NodesBefore, report.NodesAfter, report.ModeledCostBefore, report.ModeledCostAfter)
+
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		log.Fatal(err)
+	}
+	var metrics server.MetricsSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&metrics); err != nil {
+		log.Fatal(err)
+	}
+	resp.Body.Close()
+	fmt.Printf("metrics: %d broad requests, cache %d/%d hit, p99=%dus\n",
+		metrics.Requests.Broad, metrics.Cache.Hits,
+		metrics.Cache.Hits+metrics.Cache.Misses, metrics.Latency.P99US)
 }

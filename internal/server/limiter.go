@@ -1,0 +1,83 @@
+// Admission control: a concurrency semaphore with a bounded wait queue.
+//
+// The serving layer admits at most MaxInflight concurrent queries; up to
+// MaxQueue more may wait (bounded by their request deadline). Anything
+// beyond that is shed immediately with 503 + Retry-After rather than
+// queued — under overload an unbounded queue only converts saturation
+// into unbounded tail latency (every queued request eventually times out
+// anyway), while early shedding keeps the latency of admitted requests
+// flat, which is the paper's tail-latency story (Figure 9) applied to an
+// overloaded serving tier.
+package server
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+)
+
+// ErrQueueFull is returned by Acquire when the wait queue is at capacity;
+// the caller should shed the request (503).
+var ErrQueueFull = errors.New("server: admission queue full")
+
+// Limiter is a concurrency semaphore with a bounded wait queue.
+type Limiter struct {
+	slots    chan struct{}
+	waiters  atomic.Int64
+	maxQueue int64
+}
+
+// NewLimiter admits up to maxInflight concurrent holders with up to
+// maxQueue waiters. maxInflight < 1 is raised to 1; maxQueue < 0 is
+// treated as 0 (shed as soon as all slots are busy).
+func NewLimiter(maxInflight, maxQueue int) *Limiter {
+	if maxInflight < 1 {
+		maxInflight = 1
+	}
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	return &Limiter{
+		slots:    make(chan struct{}, maxInflight),
+		maxQueue: int64(maxQueue),
+	}
+}
+
+// Acquire obtains a slot, waiting in the bounded queue if none is free.
+// It returns ErrQueueFull when the queue is at capacity and ctx.Err()
+// when the context is done before a slot frees. On success the caller
+// must Release exactly once.
+func (l *Limiter) Acquire(ctx context.Context) error {
+	// Fast path: free slot, no queueing.
+	select {
+	case l.slots <- struct{}{}:
+		return nil
+	default:
+	}
+	// Reserve a queue position. The counter may transiently overshoot
+	// maxQueue by concurrent arrivals between Load and Add; the recheck
+	// after Add keeps the queue bound strict.
+	if l.waiters.Add(1) > l.maxQueue {
+		l.waiters.Add(-1)
+		return ErrQueueFull
+	}
+	defer l.waiters.Add(-1)
+	select {
+	case l.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Release frees a slot obtained by a successful Acquire.
+func (l *Limiter) Release() {
+	select {
+	case <-l.slots:
+	default:
+		panic("server: Release without Acquire")
+	}
+}
+
+// Waiting returns the current number of queued acquirers.
+func (l *Limiter) Waiting() int64 { return l.waiters.Load() }

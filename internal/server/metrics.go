@@ -1,0 +1,211 @@
+// Metrics: a stdlib-only registry of atomic counters and fixed-bucket
+// latency histograms for the serving layer. The histogram uses the 5 ms
+// buckets of the paper's Figure 9 so /metrics output is directly comparable
+// to the latency distributions reported there, with a sub-millisecond
+// microsecond-resolution first region so cache hits (tens of microseconds)
+// are not all crushed into bucket zero.
+package server
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// HistogramBucketMillis is the coarse bucket width, matching Figure 9 of
+// the paper (and internal/multiserver.LatencyBucketMillis).
+const HistogramBucketMillis = 5
+
+const (
+	// fineBuckets cover [0, 5ms) in 100µs steps so sub-millisecond serving
+	// latencies remain distinguishable.
+	fineBuckets     = 50
+	fineWidth       = 100 * time.Microsecond
+	coarseBuckets   = 60 // [5ms, 305ms) in 5ms steps
+	coarseWidth     = HistogramBucketMillis * time.Millisecond
+	overflowBuckets = 1
+	numBuckets      = fineBuckets + coarseBuckets + overflowBuckets
+)
+
+// Histogram is a fixed-bucket concurrent latency histogram. All methods are
+// safe for concurrent use; Observe is a single atomic add on the hot path.
+type Histogram struct {
+	buckets [numBuckets]atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Int64 // total nanoseconds
+}
+
+func bucketIndex(d time.Duration) int {
+	if d < 0 {
+		d = 0
+	}
+	if d < fineBuckets*fineWidth {
+		return int(d / fineWidth)
+	}
+	i := fineBuckets + int((d-fineBuckets*fineWidth)/coarseWidth)
+	if i >= numBuckets {
+		return numBuckets - 1
+	}
+	return i
+}
+
+// bucketUpper returns the exclusive upper bound of bucket i (the overflow
+// bucket reports the largest finite bound).
+func bucketUpper(i int) time.Duration {
+	if i < fineBuckets {
+		return time.Duration(i+1) * fineWidth
+	}
+	if i >= numBuckets-1 {
+		i = numBuckets - 2
+	}
+	return fineBuckets*fineWidth + time.Duration(i-fineBuckets+1)*coarseWidth
+}
+
+// Observe records one latency sample.
+func (h *Histogram) Observe(d time.Duration) {
+	h.buckets[bucketIndex(d)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(int64(d))
+}
+
+// Count returns the number of observed samples.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Quantile returns an upper bound for the q-quantile (0 < q <= 1) of the
+// observed samples: the upper edge of the bucket containing that rank.
+// Returns 0 when empty.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(total))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen uint64
+	for i := 0; i < numBuckets; i++ {
+		seen += h.buckets[i].Load()
+		if seen >= rank {
+			return bucketUpper(i)
+		}
+	}
+	return bucketUpper(numBuckets - 1)
+}
+
+// Mean returns the mean observed latency (0 when empty).
+func (h *Histogram) Mean() time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sum.Load() / int64(n))
+}
+
+// HistogramSnapshot is the JSON form of a histogram: only non-empty buckets
+// are emitted, keyed by their upper bound.
+type HistogramSnapshot struct {
+	Count    uint64           `json:"count"`
+	MeanUS   int64            `json:"mean_us"`
+	P50US    int64            `json:"p50_us"`
+	P95US    int64            `json:"p95_us"`
+	P99US    int64            `json:"p99_us"`
+	BucketUS []BucketSnapshot `json:"buckets,omitempty"`
+}
+
+// BucketSnapshot is one non-empty histogram bucket.
+type BucketSnapshot struct {
+	UpperUS int64  `json:"le_us"` // exclusive upper bound, microseconds
+	Count   uint64 `json:"count"`
+}
+
+// Snapshot captures the histogram state. Concurrent Observe calls may land
+// between bucket reads; the snapshot is approximate under load, exact when
+// quiescent.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Count:  h.count.Load(),
+		MeanUS: h.Mean().Microseconds(),
+		P50US:  h.Quantile(0.50).Microseconds(),
+		P95US:  h.Quantile(0.95).Microseconds(),
+		P99US:  h.Quantile(0.99).Microseconds(),
+	}
+	for i := 0; i < numBuckets; i++ {
+		if n := h.buckets[i].Load(); n > 0 {
+			s.BucketUS = append(s.BucketUS, BucketSnapshot{
+				UpperUS: bucketUpper(i).Microseconds(),
+				Count:   n,
+			})
+		}
+	}
+	return s
+}
+
+// Registry aggregates the serving-layer metrics. All fields are updated
+// with atomic operations; the zero value is ready to use.
+type Registry struct {
+	// Per-match-type request counts (accepted requests only).
+	ReqBroad, ReqExact, ReqPhrase atomic.Uint64
+	// BadRequests counts 4xx rejections (missing q, bad type).
+	BadRequests atomic.Uint64
+	// Shed counts 503 responses from admission control.
+	Shed atomic.Uint64
+	// Timeouts counts requests that hit their deadline while queued.
+	Timeouts atomic.Uint64
+	// InFlight is the number of admitted /search requests currently
+	// executing.
+	InFlight atomic.Int64
+	// Mutations counts /insert + /delete calls served.
+	Mutations atomic.Uint64
+	// Latency is the end-to-end /search latency (queue wait + match +
+	// encode) for admitted requests.
+	Latency Histogram
+}
+
+func (r *Registry) reqCounter(matchType string) *atomic.Uint64 {
+	switch matchType {
+	case "exact":
+		return &r.ReqExact
+	case "phrase":
+		return &r.ReqPhrase
+	default:
+		return &r.ReqBroad
+	}
+}
+
+// MetricsSnapshot is the JSON document served at /metrics.
+type MetricsSnapshot struct {
+	Requests struct {
+		Broad  uint64 `json:"broad"`
+		Exact  uint64 `json:"exact"`
+		Phrase uint64 `json:"phrase"`
+		Bad    uint64 `json:"bad"`
+	} `json:"requests"`
+	Cache struct {
+		Hits          uint64 `json:"hits"`
+		Misses        uint64 `json:"misses"`
+		Invalidations uint64 `json:"invalidations"`
+		Entries       int    `json:"entries"`
+	} `json:"cache"`
+	Shed      uint64            `json:"shed"`
+	Timeouts  uint64            `json:"timeouts"`
+	InFlight  int64             `json:"in_flight"`
+	Mutations uint64            `json:"mutations"`
+	Epoch     uint64            `json:"epoch"`
+	Latency   HistogramSnapshot `json:"latency"`
+}
+
+// Snapshot captures all counters (the cache section and the epoch are
+// filled in by the server, which owns those components).
+func (r *Registry) Snapshot() MetricsSnapshot {
+	var s MetricsSnapshot
+	s.Requests.Broad = r.ReqBroad.Load()
+	s.Requests.Exact = r.ReqExact.Load()
+	s.Requests.Phrase = r.ReqPhrase.Load()
+	s.Requests.Bad = r.BadRequests.Load()
+	s.Shed = r.Shed.Load()
+	s.Timeouts = r.Timeouts.Load()
+	s.InFlight = r.InFlight.Load()
+	s.Mutations = r.Mutations.Load()
+	s.Latency = r.Latency.Snapshot()
+	return s
+}

@@ -1,0 +1,94 @@
+package server
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func TestHistogramBuckets(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 0},
+		{-time.Second, 0}, // clamped
+		{99 * time.Microsecond, 0},
+		{100 * time.Microsecond, 1},
+		{4999 * time.Microsecond, 49}, // last fine bucket
+		{5 * time.Millisecond, 50},    // first coarse bucket
+		{9 * time.Millisecond, 50},
+		{10 * time.Millisecond, 51},
+		{304 * time.Millisecond, numBuckets - 2}, // last coarse bucket
+		{time.Hour, numBuckets - 1},              // overflow
+	}
+	for _, c := range cases {
+		if got := bucketIndex(c.d); got != c.want {
+			t.Errorf("bucketIndex(%v) = %d, want %d", c.d, got, c.want)
+		}
+	}
+	// Upper bounds are consistent with indexing: a duration just below a
+	// bucket's upper bound maps into that bucket.
+	for i := 0; i < numBuckets-1; i++ {
+		if got := bucketIndex(bucketUpper(i) - time.Nanosecond); got != i {
+			t.Errorf("bucketIndex(upper(%d)-1ns) = %d", i, got)
+		}
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+	// 90 fast samples at ~1ms, 10 slow at ~50ms.
+	for i := 0; i < 90; i++ {
+		h.Observe(time.Millisecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(50 * time.Millisecond)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if p50 := h.Quantile(0.5); p50 > 2*time.Millisecond {
+		t.Errorf("p50 = %v, want ~1ms bucket bound", p50)
+	}
+	// p95 and p99 land in the slow mode.
+	if p95 := h.Quantile(0.95); p95 < 45*time.Millisecond {
+		t.Errorf("p95 = %v, want ≥ 45ms", p95)
+	}
+	if p99 := h.Quantile(0.99); p99 < 45*time.Millisecond {
+		t.Errorf("p99 = %v, want ≥ 45ms", p99)
+	}
+	mean := h.Mean()
+	if mean < 5*time.Millisecond || mean > 7*time.Millisecond {
+		t.Errorf("mean = %v, want ~5.9ms", mean)
+	}
+}
+
+func TestMetricsSnapshotJSON(t *testing.T) {
+	var r Registry
+	r.ReqBroad.Add(3)
+	r.Shed.Add(1)
+	r.Latency.Observe(2 * time.Millisecond)
+	b, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back map[string]any
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back["shed"].(float64) != 1 {
+		t.Errorf("shed = %v", back["shed"])
+	}
+	reqs := back["requests"].(map[string]any)
+	if reqs["broad"].(float64) != 3 {
+		t.Errorf("requests.broad = %v", reqs["broad"])
+	}
+	lat := back["latency"].(map[string]any)
+	if lat["count"].(float64) != 1 {
+		t.Errorf("latency.count = %v", lat["count"])
+	}
+}

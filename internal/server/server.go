@@ -1,0 +1,445 @@
+// Package server is the production query-serving layer over an
+// adindex.Index: a sharded epoch-invalidated result cache, admission
+// control with bounded queueing and load shedding, a stdlib-only metrics
+// registry with Figure-9-style latency histograms, and managed HTTP
+// lifecycle (timeouts, health/readiness probes, signal-driven graceful
+// shutdown that drains in-flight requests).
+//
+// Endpoints:
+//
+//	GET  /search?q=...&type=broad|exact|phrase   retrieval (cached, admitted)
+//	POST /insert                                 add an ad (JSON body)
+//	POST /delete                                 remove an ad (JSON body)
+//	GET  /stats                                  index structure statistics
+//	POST /optimize                               re-optimize layout from observed queries
+//	GET  /metrics                                serving metrics (JSON)
+//	GET  /healthz                                liveness (200 while process is up)
+//	GET  /readyz                                 readiness (503 while shutting down)
+//	GET  /debug/pprof/*                          runtime profiling
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"os/signal"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"adindex"
+	"adindex/internal/textnorm"
+)
+
+// Config tunes the serving layer. The zero value selects production-safe
+// defaults for every knob.
+type Config struct {
+	// CacheEntries is the total result-cache capacity across shards.
+	// 0 selects DefaultCacheEntries; negative disables caching.
+	CacheEntries int
+	// CacheShards is the result-cache shard count (rounded up to a power
+	// of two). 0 selects DefaultCacheShards.
+	CacheShards int
+	// MaxInflight bounds concurrently executing /search requests.
+	// 0 selects DefaultMaxInflight.
+	MaxInflight int
+	// MaxQueue bounds /search requests waiting for an execution slot;
+	// requests beyond it are shed with 503. 0 selects 4×MaxInflight;
+	// negative means no queue (shed as soon as all slots are busy).
+	MaxQueue int
+	// RequestTimeout is the per-request deadline, covering queue wait and
+	// execution. 0 selects DefaultRequestTimeout.
+	RequestTimeout time.Duration
+	// RetryAfter is the hint returned with 503 shed responses.
+	// 0 selects 1s.
+	RetryAfter time.Duration
+	// Selection, when non-nil, applies the auction-side filters
+	// (exclusion keywords, bid floor, ranking, result cap) to matches
+	// before they are returned. Raw matches are what is cached, so the
+	// cache stays valid across selection-parameter changes.
+	Selection *adindex.Selection
+	// ReadTimeout, WriteTimeout, and IdleTimeout configure the
+	// http.Server; zero values select 10s, 30s, and 120s.
+	ReadTimeout, WriteTimeout, IdleTimeout time.Duration
+	// ShutdownTimeout bounds the graceful drain in Run. 0 selects 10s.
+	ShutdownTimeout time.Duration
+	// Logger receives lifecycle log lines; nil selects log.Default().
+	Logger *log.Logger
+}
+
+// Defaults for Config's zero values.
+const (
+	DefaultCacheEntries   = 65536
+	DefaultCacheShards    = 16
+	DefaultMaxInflight    = 256
+	DefaultRequestTimeout = time.Second
+)
+
+func (c Config) withDefaults() Config {
+	if c.CacheEntries == 0 {
+		c.CacheEntries = DefaultCacheEntries
+	}
+	if c.CacheShards == 0 {
+		c.CacheShards = DefaultCacheShards
+	}
+	if c.MaxInflight == 0 {
+		c.MaxInflight = DefaultMaxInflight
+	}
+	if c.MaxQueue == 0 {
+		c.MaxQueue = 4 * c.MaxInflight
+	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = DefaultRequestTimeout
+	}
+	if c.RetryAfter == 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.ReadTimeout == 0 {
+		c.ReadTimeout = 10 * time.Second
+	}
+	if c.WriteTimeout == 0 {
+		c.WriteTimeout = 30 * time.Second
+	}
+	if c.IdleTimeout == 0 {
+		c.IdleTimeout = 120 * time.Second
+	}
+	if c.ShutdownTimeout == 0 {
+		c.ShutdownTimeout = 10 * time.Second
+	}
+	if c.Logger == nil {
+		c.Logger = log.Default()
+	}
+	return c
+}
+
+// Server wraps an adindex.Index in the serving layer. Create with New,
+// start with Start (or Run for signal-managed lifetime), stop with
+// Shutdown.
+type Server struct {
+	ix      *adindex.Index
+	cfg     Config
+	cache   *Cache
+	limiter *Limiter
+	metrics *Registry
+	httpSrv *http.Server
+
+	lnMu     sync.Mutex
+	ln       net.Listener
+	serveErr chan error
+	ready    atomic.Bool
+
+	// handlerDelay artificially lengthens /search execution; used by
+	// shutdown-drain and saturation tests.
+	handlerDelay time.Duration
+}
+
+// New builds a serving layer over ix. The server owns no goroutines until
+// Start.
+func New(ix *adindex.Index, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		ix:       ix,
+		cfg:      cfg,
+		cache:    NewCache(cfg.CacheEntries, cfg.CacheShards),
+		limiter:  NewLimiter(cfg.MaxInflight, cfg.MaxQueue),
+		metrics:  &Registry{},
+		serveErr: make(chan error, 1),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/search", s.handleSearch)
+	mux.HandleFunc("/insert", s.handleInsert)
+	mux.HandleFunc("/delete", s.handleDelete)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/optimize", s.handleOptimize)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.httpSrv = &http.Server{
+		Handler:      mux,
+		ReadTimeout:  cfg.ReadTimeout,
+		WriteTimeout: cfg.WriteTimeout,
+		IdleTimeout:  cfg.IdleTimeout,
+		ErrorLog:     cfg.Logger,
+	}
+	return s
+}
+
+// Metrics returns the server's metrics registry (live counters).
+func (s *Server) Metrics() *Registry { return s.metrics }
+
+// Handler returns the server's root handler (useful for tests and for
+// mounting under an outer mux).
+func (s *Server) Handler() http.Handler { return s.httpSrv.Handler }
+
+// Start binds addr and begins serving in a background goroutine. It
+// returns a bind error immediately; serve-loop errors surface via Run or
+// are logged.
+func (s *Server) Start(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("server: bind %s: %w", addr, err)
+	}
+	s.lnMu.Lock()
+	s.ln = ln
+	s.lnMu.Unlock()
+	s.ready.Store(true)
+	go func() {
+		err := s.httpSrv.Serve(ln)
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			s.serveErr <- err
+			return
+		}
+		s.serveErr <- nil
+	}()
+	return nil
+}
+
+// Addr returns the bound listen address ("" before Start). Safe to call
+// from any goroutine, e.g. to discover the port while Run executes.
+func (s *Server) Addr() string {
+	s.lnMu.Lock()
+	defer s.lnMu.Unlock()
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Shutdown gracefully stops the server: readiness flips to 503 (so load
+// balancers stop routing here), the listener closes, and in-flight
+// requests drain until done or ctx expires.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.ready.Store(false)
+	return s.httpSrv.Shutdown(ctx)
+}
+
+// Run starts the server on addr and blocks until SIGINT/SIGTERM or a
+// serve-loop failure, then drains gracefully. It is the main loop of
+// cmd/adserve.
+func (s *Server) Run(addr string) error {
+	// Register the signal handler before binding: once the port is
+	// reachable, a SIGTERM is guaranteed to be caught.
+	sigCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := s.Start(addr); err != nil {
+		return err
+	}
+	s.cfg.Logger.Printf("listening on http://%s", s.Addr())
+	select {
+	case err := <-s.serveErr:
+		return err
+	case <-sigCtx.Done():
+	}
+	s.cfg.Logger.Printf("shutting down: draining in-flight requests (up to %v)", s.cfg.ShutdownTimeout)
+	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.ShutdownTimeout)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		return fmt.Errorf("server: shutdown: %w", err)
+	}
+	s.cfg.Logger.Printf("drained cleanly")
+	return nil
+}
+
+// cacheKey maps a query to its result-cache key. Broad match is order- and
+// duplicate-insensitive, so all orderings of the same word set share one
+// entry (keyed by the canonical set). Exact and phrase match depend on
+// token order, so they key by the normalized token sequence.
+func cacheKey(matchType, q string) string {
+	switch matchType {
+	case "exact", "phrase":
+		return matchType[:1] + "\x00" + strings.Join(textnorm.Tokenize(q), "\x1f")
+	default:
+		return "b\x00" + textnorm.SetKey(textnorm.WordSet(q))
+	}
+}
+
+type searchResponse struct {
+	Query   string       `json:"query"`
+	Type    string       `json:"type"`
+	Matched int          `json:"matched"`
+	Cached  bool         `json:"cached"`
+	Ads     []adindex.Ad `json:"ads"`
+	TookUS  int64        `json:"took_us"`
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	q := r.URL.Query().Get("q")
+	if strings.TrimSpace(q) == "" {
+		s.metrics.BadRequests.Add(1)
+		http.Error(w, "missing q parameter", http.StatusBadRequest)
+		return
+	}
+	matchType := r.URL.Query().Get("type")
+	switch matchType {
+	case "":
+		matchType = "broad"
+	case "broad", "exact", "phrase":
+	default:
+		s.metrics.BadRequests.Add(1)
+		http.Error(w, "type must be broad, exact, or phrase", http.StatusBadRequest)
+		return
+	}
+
+	// Admission: the deadline covers queue wait and execution.
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	if err := s.limiter.Acquire(ctx); err != nil {
+		if errors.Is(err, ErrQueueFull) {
+			s.metrics.Shed.Add(1)
+		} else {
+			s.metrics.Timeouts.Add(1)
+		}
+		s.shed(w)
+		return
+	}
+	defer s.limiter.Release()
+	s.metrics.InFlight.Add(1)
+	defer s.metrics.InFlight.Add(-1)
+	s.metrics.reqCounter(matchType).Add(1)
+
+	s.ix.Observe(q)
+	// The epoch is read before the match runs: if a mutation lands while
+	// we compute, we store the result under the old epoch and the next
+	// lookup discards it, so a stale result is never served.
+	key := cacheKey(matchType, q)
+	epoch := s.ix.Epoch()
+	matches, hit := s.cache.Get(key, epoch)
+	if !hit {
+		switch matchType {
+		case "exact":
+			matches = s.ix.ExactMatch(q)
+		case "phrase":
+			matches = s.ix.PhraseMatch(q)
+		default:
+			matches = s.ix.BroadMatch(q)
+		}
+		s.cache.Put(key, epoch, matches)
+	}
+	if s.handlerDelay > 0 {
+		time.Sleep(s.handlerDelay)
+	}
+
+	result := matches
+	if s.cfg.Selection != nil {
+		result = adindex.SelectAds(q, matches, *s.cfg.Selection)
+	}
+	took := time.Since(start)
+	s.writeJSON(w, searchResponse{
+		Query:   q,
+		Type:    matchType,
+		Matched: len(matches),
+		Cached:  hit,
+		Ads:     result,
+		TookUS:  took.Microseconds(),
+	})
+	s.metrics.Latency.Observe(time.Since(start))
+}
+
+func (s *Server) shed(w http.ResponseWriter) {
+	w.Header().Set("Retry-After", fmt.Sprintf("%d", int(s.cfg.RetryAfter.Round(time.Second)/time.Second)))
+	http.Error(w, "overloaded, retry later", http.StatusServiceUnavailable)
+}
+
+type insertRequest struct {
+	ID     uint64       `json:"id"`
+	Phrase string       `json:"phrase"`
+	Meta   adindex.Meta `json:"meta"`
+}
+
+func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	var req insertRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.metrics.BadRequests.Add(1)
+		http.Error(w, "bad insert body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if req.ID == 0 || strings.TrimSpace(req.Phrase) == "" {
+		s.metrics.BadRequests.Add(1)
+		http.Error(w, "insert requires non-zero id and non-empty phrase", http.StatusBadRequest)
+		return
+	}
+	s.ix.Insert(adindex.NewAd(req.ID, req.Phrase, req.Meta))
+	s.metrics.Mutations.Add(1)
+	s.writeJSON(w, map[string]any{"ok": true, "epoch": s.ix.Epoch()})
+}
+
+type deleteRequest struct {
+	ID     uint64 `json:"id"`
+	Phrase string `json:"phrase"`
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	var req deleteRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.metrics.BadRequests.Add(1)
+		http.Error(w, "bad delete body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	found := s.ix.Delete(req.ID, req.Phrase)
+	s.metrics.Mutations.Add(1)
+	s.writeJSON(w, map[string]any{"found": found, "epoch": s.ix.Epoch()})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	s.writeJSON(w, s.ix.Stats())
+}
+
+func (s *Server) handleOptimize(w http.ResponseWriter, _ *http.Request) {
+	report, err := s.ix.Optimize()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	s.writeJSON(w, report)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	snap := s.metrics.Snapshot()
+	snap.Cache.Hits, snap.Cache.Misses, snap.Cache.Invalidations = s.cache.Stats()
+	snap.Cache.Entries = s.cache.Len()
+	snap.Epoch = s.ix.Epoch()
+	s.writeJSON(w, snap)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	w.Write([]byte("ok\n"))
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if !s.ready.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	w.Write([]byte("ready\n"))
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		s.cfg.Logger.Printf("encode response: %v", err)
+	}
+}
