@@ -1,8 +1,10 @@
 # Development / CI entry points. `make check` is the gate every change
 # must pass: vet, build, the full test suite, and a race-detector pass
-# over the concurrency-heavy packages (the serving layer and the
-# multi-server harness). The race pass runs -short so the heavyweight
-# load comparison stays affordable under the detector.
+# over the concurrency-heavy packages (the serving layer, the
+# multi-server harness, the fault-injection proxy, and the shard
+# failover client). The race pass runs -short so the heavyweight load
+# comparison stays affordable under the detector and the fault-injection
+# latency schedules stay under ~2s.
 
 GO ?= go
 
@@ -20,7 +22,8 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race -short ./internal/server ./internal/multiserver
+	$(GO) test -race -short ./internal/server ./internal/multiserver \
+		./internal/faultnet ./internal/shard
 
 # Quick microbenchmarks for the index hot paths (not part of check).
 bench:

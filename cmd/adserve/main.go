@@ -1,23 +1,39 @@
-// adserve serves broad-match queries over HTTP from a corpus file produced
-// by adgen (or any file in the same TSV format), through the production
-// serving layer in internal/server: sharded result cache with
-// epoch-based invalidation, admission control with load shedding,
-// JSON metrics, pprof, and graceful shutdown.
+// adserve serves broad-match queries over HTTP, either from a local
+// corpus file produced by adgen (or any file in the same TSV format)
+// through the production serving layer in internal/server — sharded
+// result cache with epoch-based invalidation, admission control with
+// load shedding, JSON metrics, pprof, graceful shutdown — or, with
+// -shards, as a fault-tolerant front-end over a remote sharded
+// deployment (replica failover, retries with backoff, circuit breakers,
+// graceful degradation).
 //
-// Usage:
+// Single-node usage:
 //
 //	adgen -ads 100000 -out corpus.tsv
 //	adserve -corpus corpus.tsv -addr :8077
 //	curl 'http://localhost:8077/search?q=cheap+used+books'
 //
+// Distributed usage (every backend is itself an adserve):
+//
+//	# two index shard servers + one ad-metadata server, speaking the
+//	# multiserver TCP frame protocol alongside HTTP:
+//	adserve -corpus shard0.tsv -addr :8078 -tcp-index :9001
+//	adserve -corpus shard1.tsv -addr :8079 -tcp-index :9002
+//	adserve -corpus corpus.tsv -addr :8080 -tcp-ad :9010
+//	# fault-tolerant front-end: shards separated by ';', replicas by ','
+//	adserve -addr :8077 -shards '127.0.0.1:9001;127.0.0.1:9002' \
+//	        -ad-server 127.0.0.1:9010 -allow-partial \
+//	        -net-timeout 2s -net-retries 2 -hedge-after 20ms
+//
 // Endpoints (see internal/server):
 //
 //	/search?q=...&type=broad|exact|phrase   retrieval (cached, admitted)
-//	/insert, /delete                        corpus mutations (POST JSON)
-//	/stats                                  index structure statistics
-//	/optimize                               re-optimize layout from observed queries
-//	/metrics                                serving metrics (JSON)
-//	/healthz, /readyz                       probes
+//	/insert, /delete                        corpus mutations (POST JSON; local mode)
+//	/stats                                  index structure statistics (local mode)
+//	/optimize                               re-optimize layout from observed queries (local mode)
+//	/metrics                                serving metrics (JSON; includes backend
+//	                                        retry/breaker/degradation counters in -shards mode)
+//	/healthz, /readyz                       probes (readyz reflects sustained backend loss)
 //	/debug/pprof/*                          profiling
 package main
 
@@ -25,16 +41,20 @@ import (
 	"flag"
 	"log"
 	"os"
+	"strings"
+	"time"
 
 	"adindex"
 	"adindex/internal/corpus"
+	"adindex/internal/multiserver"
 	"adindex/internal/server"
+	"adindex/internal/shard"
 )
 
 func main() {
-	corpusPath := flag.String("corpus", "", "corpus TSV file (required)")
+	corpusPath := flag.String("corpus", "", "corpus TSV file (required unless -shards is set)")
 	mappingPath := flag.String("mapping", "", "optional mapping file from cmd/adopt to apply at startup")
-	addr := flag.String("addr", "127.0.0.1:8077", "listen address")
+	addr := flag.String("addr", "127.0.0.1:8077", "HTTP listen address")
 	maxWords := flag.Int("max-words", 0, "max_words locator bound (0 = default 10)")
 	cacheEntries := flag.Int("cache-entries", server.DefaultCacheEntries,
 		"result cache capacity in entries (negative disables caching)")
@@ -44,49 +64,158 @@ func main() {
 		"per-request deadline covering admission-queue wait and execution")
 	maxObserved := flag.Int("max-observed", adindex.DefaultMaxObservedQueries,
 		"cap on distinct observed queries kept for layout optimization (negative = unbounded)")
+
+	// Local-mode TCP serving: expose the index and/or ad metadata over the
+	// multiserver frame protocol so this process can back a -shards
+	// front-end.
+	tcpIndex := flag.String("tcp-index", "", "also serve the index over the TCP frame protocol on this address")
+	tcpAd := flag.String("tcp-ad", "", "also serve ad metadata over the TCP frame protocol on this address")
+
+	// Remote (distributed front-end) mode.
+	shards := flag.String("shards", "",
+		"remote mode: index shard addresses, shards separated by ';', replicas of one shard by ','")
+	adServer := flag.String("ad-server", "",
+		"remote mode: ad-metadata server address (required with -shards)")
+	netTimeout := flag.Duration("net-timeout", multiserver.DefaultTimeout,
+		"remote mode: per-exchange backend deadline")
+	netRetries := flag.Int("net-retries", multiserver.DefaultMaxRetries,
+		"remote mode: retry budget per backend exchange (negative disables retries)")
+	retryBase := flag.Duration("retry-base", 10*time.Millisecond,
+		"remote mode: first retry backoff (doubles per attempt, plus jitter)")
+	breakerThreshold := flag.Int("breaker-threshold", 5,
+		"remote mode: consecutive failures that open a backend's circuit breaker")
+	breakerCooldown := flag.Duration("breaker-cooldown", time.Second,
+		"remote mode: how long an open breaker waits before half-opening")
+	hedgeAfter := flag.Duration("hedge-after", 0,
+		"remote mode: duplicate an in-flight shard query to the next replica after this delay (0 disables)")
+	allowPartial := flag.Bool("allow-partial", false,
+		"remote mode: serve degraded (partial / ID-only) results instead of failing when backends are down")
+	minLiveShards := flag.Int("min-live-shards", 1,
+		"remote mode: minimum shards that must answer for a partial result")
+	backendGrace := flag.Duration("backend-grace", 10*time.Second,
+		"remote mode: sustained backend loss longer than this flips /readyz to 503")
 	flag.Parse()
-	if *corpusPath == "" {
-		flag.Usage()
-		os.Exit(2)
+
+	cfg := server.Config{
+		CacheEntries:     *cacheEntries,
+		MaxInflight:      *maxInflight,
+		RequestTimeout:   *requestTimeout,
+		BackendLossGrace: *backendGrace,
 	}
 
-	f, err := os.Open(*corpusPath)
-	if err != nil {
-		log.Fatal(err)
-	}
-	c, err := corpus.Read(f)
-	f.Close()
-	if err != nil {
-		log.Fatal(err)
-	}
-	log.Printf("loaded %d ads from %s", c.NumAds(), *corpusPath)
-	ix := adindex.Build(c.Ads, adindex.Options{
-		MaxWords:           *maxWords,
-		MaxObservedQueries: *maxObserved,
-	})
-	if *mappingPath != "" {
-		mf, err := os.Open(*mappingPath)
+	var srv *server.Server
+	if *shards != "" {
+		if *adServer == "" {
+			log.Fatal("-shards requires -ad-server")
+		}
+		replicas := parseShards(*shards)
+		nc, err := shard.DialReplicaShards(replicas, *adServer, shard.Options{
+			Conn: multiserver.ConnOpts{
+				Timeout:          *netTimeout,
+				MaxRetries:       *netRetries,
+				RetryBase:        *retryBase,
+				BreakerThreshold: *breakerThreshold,
+				BreakerCooldown:  *breakerCooldown,
+			},
+			AllowPartial:  *allowPartial,
+			MinLiveShards: *minLiveShards,
+			HedgeAfter:    *hedgeAfter,
+		})
 		if err != nil {
 			log.Fatal(err)
 		}
-		if err := ix.ApplyMapping(mf); err != nil {
-			log.Fatalf("applying mapping: %v", err)
+		defer nc.Close()
+		log.Printf("front-end over %d shards (ad server %s, partial=%v, hedge=%v)",
+			nc.NumShards(), *adServer, *allowPartial, *hedgeAfter)
+		srv = server.NewRemote(nc, cfg)
+	} else {
+		if *corpusPath == "" {
+			flag.Usage()
+			os.Exit(2)
 		}
-		mf.Close()
-		log.Printf("applied offline mapping from %s", *mappingPath)
-	}
-	st := ix.Stats()
-	log.Printf("index ready: %d ads, %d nodes, %d distinct sets",
-		st.NumAds, st.NumNodes, st.DistinctSets)
+		f, err := os.Open(*corpusPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		c, err := corpus.Read(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("loaded %d ads from %s", c.NumAds(), *corpusPath)
+		ix := adindex.Build(c.Ads, adindex.Options{
+			MaxWords:           *maxWords,
+			MaxObservedQueries: *maxObserved,
+		})
+		if *mappingPath != "" {
+			mf, err := os.Open(*mappingPath)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := ix.ApplyMapping(mf); err != nil {
+				log.Fatalf("applying mapping: %v", err)
+			}
+			mf.Close()
+			log.Printf("applied offline mapping from %s", *mappingPath)
+		}
+		st := ix.Stats()
+		log.Printf("index ready: %d ads, %d nodes, %d distinct sets",
+			st.NumAds, st.NumNodes, st.DistinctSets)
 
-	srv := server.New(ix, server.Config{
-		CacheEntries:   *cacheEntries,
-		MaxInflight:    *maxInflight,
-		RequestTimeout: *requestTimeout,
-	})
+		if *tcpIndex != "" {
+			ts, err := multiserver.NewIndexServer(*tcpIndex, multiserver.ServeOpts{}, indexBackend{ix})
+			if err != nil {
+				log.Fatalf("tcp index server: %v", err)
+			}
+			defer ts.Close()
+			log.Printf("serving TCP index protocol on %s", ts.Addr())
+		}
+		if *tcpAd != "" {
+			as, err := multiserver.NewAdServer(*tcpAd, multiserver.ServeOpts{}, c.Ads)
+			if err != nil {
+				log.Fatalf("tcp ad server: %v", err)
+			}
+			defer as.Close()
+			log.Printf("serving TCP ad-metadata protocol on %s", as.Addr())
+		}
+		srv = server.New(ix, cfg)
+	}
+
 	// Run binds before serving, so a bad -addr fails here with a non-zero
 	// exit instead of a goroutine logging into the void.
 	if err := srv.Run(*addr); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// indexBackend adapts the public adindex.Index to the multiserver
+// Backend interface (IDs only on the wire; metadata lives on the ad
+// server, as in the paper's Section VII-B split).
+type indexBackend struct{ ix *adindex.Index }
+
+func (b indexBackend) MatchIDs(query string) []uint64 {
+	matches := b.ix.BroadMatch(query)
+	ids := make([]uint64, len(matches))
+	for i := range matches {
+		ids[i] = matches[i].ID
+	}
+	return ids
+}
+
+// parseShards splits "a,b;c,d" into [[a b] [c d]]: ';' separates shards,
+// ',' separates the replicas of one shard.
+func parseShards(spec string) [][]string {
+	var out [][]string
+	for _, shardSpec := range strings.Split(spec, ";") {
+		var replicas []string
+		for _, addr := range strings.Split(shardSpec, ",") {
+			if a := strings.TrimSpace(addr); a != "" {
+				replicas = append(replicas, a)
+			}
+		}
+		if len(replicas) > 0 {
+			out = append(out, replicas)
+		}
+	}
+	return out
 }

@@ -1,0 +1,363 @@
+// Package faultnet is a deterministic fault-injecting TCP proxy for the
+// frame protocol used by internal/multiserver. It sits between a client
+// and a backend and perturbs the response path according to a seedable
+// FaultPolicy: added latency, connection resets, blackholes (responses
+// swallowed so the client hangs until its deadline), truncated frames,
+// corrupted length prefixes, and fail-first-N-then-recover schedules.
+// Every failure mode the fault-tolerant clients must survive is therefore
+// reproducible in ordinary `go test`, with no real network flakiness and
+// no reliance on timing races.
+//
+// The proxy is frame-aware: it forwards one request frame (4-byte
+// big-endian length + payload) from client to backend, reads the response
+// frame, and applies the policy's Op for that exchange to the response.
+// Faults are applied on the response path because the client cannot
+// distinguish which side of the wire failed — one injection point covers
+// both.
+//
+// faultnet deliberately depends only on the standard library.
+package faultnet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// maxFrame bounds frames the proxy will buffer. It is intentionally
+// larger than the protocol's own 1<<24 limit so oversize-frame rejection
+// is exercised in the client, not masked by the proxy.
+const maxFrame = 1 << 26
+
+// Op describes the fault applied to one request/response exchange. The
+// zero value forwards the exchange untouched.
+type Op struct {
+	// Delay is slept before the response is forwarded (added latency).
+	Delay time.Duration
+	// Drop swallows the response: the backend's reply is discarded and
+	// the connection is left open, so the client blocks until its own
+	// deadline expires (a blackhole / hang).
+	Drop bool
+	// Reset closes the client connection without responding (the client
+	// observes ECONNRESET or EOF mid-exchange).
+	Reset bool
+	// Truncate, when > 0, forwards only the first Truncate bytes of the
+	// response frame (header included) and then closes the connection.
+	// Values below 4 truncate the header itself.
+	Truncate int
+	// CorruptLen overwrites the response length prefix so it promises
+	// more bytes than follow; the connection closes after the payload,
+	// so the client reads a short frame.
+	CorruptLen bool
+	// Oversize replaces the length prefix with a value above the
+	// protocol's 1<<24 frame cap, exercising the client's oversize
+	// rejection.
+	Oversize bool
+}
+
+func (o Op) faulty() bool {
+	return o.Drop || o.Reset || o.Truncate > 0 || o.CorruptLen || o.Oversize
+}
+
+// FaultPolicy decides the Op for each exchange. Exchanges are numbered
+// globally across connections in the order the proxy reads their request
+// frames; with a single in-flight client the numbering is fully
+// deterministic.
+type FaultPolicy interface {
+	Next(exchange int) Op
+}
+
+// Healthy applies no faults.
+type Healthy struct{}
+
+// Next implements FaultPolicy.
+func (Healthy) Next(int) Op { return Op{} }
+
+// Script replays a fixed per-exchange fault schedule: exchange i gets
+// Script[i]; exchanges past the end are healthy.
+type Script []Op
+
+// Next implements FaultPolicy.
+func (s Script) Next(i int) Op {
+	if i >= 0 && i < len(s) {
+		return s[i]
+	}
+	return Op{}
+}
+
+// FailFirst applies Fault to the first N exchanges and then delegates to
+// Then (healthy if nil) — the fail-first-N-then-recover schedule.
+type FailFirst struct {
+	N     int
+	Fault Op
+	Then  FaultPolicy
+}
+
+// Next implements FaultPolicy.
+func (f FailFirst) Next(i int) Op {
+	if i < f.N {
+		return f.Fault
+	}
+	if f.Then != nil {
+		return f.Then.Next(i - f.N)
+	}
+	return Op{}
+}
+
+// Random draws faults from a seeded RNG, so a given seed yields the same
+// fault sequence on every run. Probabilities are evaluated in the order
+// reset, drop, corrupt; at most one fires per exchange. Latency is
+// applied independently: Delay plus a uniform jitter in [0, Jitter).
+type Random struct {
+	Seed                      int64
+	Delay, Jitter             time.Duration
+	ResetProb, DropProb       float64
+	CorruptProb, TruncateProb float64
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// Next implements FaultPolicy.
+func (r *Random) Next(int) Op {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.rng == nil {
+		r.rng = rand.New(rand.NewSource(r.Seed))
+	}
+	op := Op{Delay: r.Delay}
+	if r.Jitter > 0 {
+		op.Delay += time.Duration(r.rng.Int63n(int64(r.Jitter)))
+	}
+	switch p := r.rng.Float64(); {
+	case p < r.ResetProb:
+		op.Reset = true
+	case p < r.ResetProb+r.DropProb:
+		op.Drop = true
+	case p < r.ResetProb+r.DropProb+r.CorruptProb:
+		op.CorruptLen = true
+	case p < r.ResetProb+r.DropProb+r.CorruptProb+r.TruncateProb:
+		op.Truncate = 2
+	}
+	return op
+}
+
+// Proxy is the fault-injecting TCP proxy. Create with New, point clients
+// at Addr, and control faults with SetPolicy / Partition / Heal.
+type Proxy struct {
+	ln     net.Listener
+	target string
+
+	exchanges atomic.Int64 // next exchange number
+	faults    atomic.Int64 // exchanges that had a fault injected
+
+	mu          sync.Mutex
+	policy      FaultPolicy
+	partitioned bool
+	closed      bool
+	conns       map[net.Conn]struct{}
+	wg          sync.WaitGroup
+}
+
+// New starts a proxy on an ephemeral loopback port forwarding to target.
+// policy may be nil (healthy).
+func New(target string, policy FaultPolicy) (*Proxy, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("faultnet: listen: %w", err)
+	}
+	if policy == nil {
+		policy = Healthy{}
+	}
+	p := &Proxy{ln: ln, target: target, policy: policy, conns: make(map[net.Conn]struct{})}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr returns the proxy's listen address; point clients here.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// Exchanges returns the number of exchanges started so far.
+func (p *Proxy) Exchanges() int64 { return p.exchanges.Load() }
+
+// Faults returns the number of exchanges that had a fault injected.
+func (p *Proxy) Faults() int64 { return p.faults.Load() }
+
+// SetPolicy swaps the fault policy for subsequent exchanges.
+func (p *Proxy) SetPolicy(policy FaultPolicy) {
+	if policy == nil {
+		policy = Healthy{}
+	}
+	p.mu.Lock()
+	p.policy = policy
+	p.mu.Unlock()
+}
+
+// Partition simulates the backend dropping off the network: all existing
+// proxied connections are closed immediately and new connections are
+// accepted and closed at once (the client observes resets on every
+// exchange until Heal).
+func (p *Proxy) Partition() {
+	p.mu.Lock()
+	p.partitioned = true
+	for c := range p.conns {
+		c.Close()
+	}
+	p.mu.Unlock()
+}
+
+// Heal ends a Partition; new connections proxy normally again.
+func (p *Proxy) Heal() {
+	p.mu.Lock()
+	p.partitioned = false
+	p.mu.Unlock()
+}
+
+// Close stops the proxy and closes all connections.
+func (p *Proxy) Close() error {
+	p.mu.Lock()
+	p.closed = true
+	err := p.ln.Close()
+	for c := range p.conns {
+		c.Close()
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+	return err
+}
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		conn, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			conn.Close()
+			return
+		}
+		if p.partitioned {
+			p.mu.Unlock()
+			conn.Close()
+			continue
+		}
+		p.conns[conn] = struct{}{}
+		p.mu.Unlock()
+		p.wg.Add(1)
+		go p.handle(conn)
+	}
+}
+
+func (p *Proxy) forget(c net.Conn) {
+	p.mu.Lock()
+	delete(p.conns, c)
+	p.mu.Unlock()
+	c.Close()
+}
+
+func (p *Proxy) currentPolicy() FaultPolicy {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.policy
+}
+
+// handle proxies one client connection, one exchange at a time.
+func (p *Proxy) handle(client net.Conn) {
+	defer p.wg.Done()
+	defer p.forget(client)
+	backend, err := net.DialTimeout("tcp", p.target, 5*time.Second)
+	if err != nil {
+		return
+	}
+	p.mu.Lock()
+	if p.closed || p.partitioned {
+		p.mu.Unlock()
+		backend.Close()
+		return
+	}
+	p.conns[backend] = struct{}{}
+	p.mu.Unlock()
+	defer p.forget(backend)
+
+	for {
+		req, err := readRawFrame(client)
+		if err != nil {
+			return
+		}
+		op := p.currentPolicy().Next(int(p.exchanges.Add(1) - 1))
+		if op.faulty() {
+			p.faults.Add(1)
+		}
+		if op.Reset {
+			// Reset before even contacting the backend: the request is lost.
+			return
+		}
+		if _, err := backend.Write(req); err != nil {
+			return
+		}
+		resp, err := readRawFrame(backend)
+		if err != nil {
+			return
+		}
+		if op.Delay > 0 {
+			time.Sleep(op.Delay)
+		}
+		switch {
+		case op.Drop:
+			// Swallow the response and hold the connection open: the
+			// client hangs until its own deadline fires and it closes the
+			// connection, which unblocks this discard loop.
+			io.Copy(io.Discard, client)
+			return
+		case op.Truncate > 0:
+			n := op.Truncate
+			if n > len(resp) {
+				n = len(resp)
+			}
+			client.Write(resp[:n])
+			return
+		case op.CorruptLen:
+			// Promise 16 more payload bytes than exist, then close: the
+			// client's io.ReadFull sees an unexpected EOF.
+			binary.BigEndian.PutUint32(resp[:4], uint32(len(resp)-4+16))
+			client.Write(resp)
+			return
+		case op.Oversize:
+			binary.BigEndian.PutUint32(resp[:4], 1<<24+1)
+			client.Write(resp)
+			return
+		default:
+			if _, err := client.Write(resp); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// readRawFrame reads one length-prefixed frame and returns it whole
+// (header + payload), ready to forward.
+func readRawFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("faultnet: frame of %d bytes exceeds proxy limit", n)
+	}
+	frame := make([]byte, 4+int(n))
+	copy(frame, hdr[:])
+	if _, err := io.ReadFull(r, frame[4:]); err != nil {
+		return nil, err
+	}
+	return frame, nil
+}

@@ -1,0 +1,247 @@
+package faultnet
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"net"
+	"os"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// echoServer is a minimal frame server: it answers every request frame
+// with a response frame carrying the same payload.
+func echoServer(t *testing.T) (addr string, closeFn func()) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				close(done)
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				for {
+					frame, err := readRawFrame(c)
+					if err != nil {
+						return
+					}
+					if _, err := c.Write(frame); err != nil {
+						return
+					}
+				}
+			}(conn)
+		}
+	}()
+	return ln.Addr().String(), func() { ln.Close(); <-done }
+}
+
+// exchange sends one frame through conn and reads the response frame
+// payload.
+func exchange(conn net.Conn, payload []byte, timeout time.Duration) ([]byte, error) {
+	conn.SetDeadline(time.Now().Add(timeout))
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := conn.Write(append(hdr[:], payload...)); err != nil {
+		return nil, err
+	}
+	frame, err := readRawFrame(conn)
+	if err != nil {
+		return nil, err
+	}
+	return frame[4:], nil
+}
+
+func dialProxy(t *testing.T, p *Proxy) net.Conn {
+	t.Helper()
+	conn, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return conn
+}
+
+func TestHealthyPassthrough(t *testing.T) {
+	addr, stop := echoServer(t)
+	defer stop()
+	p, err := New(addr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	conn := dialProxy(t, p)
+	defer conn.Close()
+	for i := 0; i < 3; i++ {
+		resp, err := exchange(conn, []byte("hello"), time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(resp, []byte("hello")) {
+			t.Fatalf("echo mismatch: %q", resp)
+		}
+	}
+	if p.Exchanges() != 3 || p.Faults() != 0 {
+		t.Errorf("exchanges=%d faults=%d", p.Exchanges(), p.Faults())
+	}
+}
+
+func TestScriptFaults(t *testing.T) {
+	addr, stop := echoServer(t)
+	defer stop()
+	// Exchange 0: reset. Exchange 1: truncate mid-header. Exchange 2:
+	// corrupt the length prefix. Exchange 3+: healthy.
+	p, err := New(addr, Script{
+		{Reset: true},
+		{Truncate: 2},
+		{CorruptLen: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	for i, wantErr := range []bool{true, true, true, false} {
+		conn := dialProxy(t, p)
+		_, err := exchange(conn, []byte("x"), time.Second)
+		conn.Close()
+		if (err != nil) != wantErr {
+			t.Errorf("exchange %d: err=%v, wantErr=%v", i, err, wantErr)
+		}
+	}
+	if p.Faults() != 3 {
+		t.Errorf("faults = %d, want 3", p.Faults())
+	}
+}
+
+func TestDelayAndDrop(t *testing.T) {
+	addr, stop := echoServer(t)
+	defer stop()
+	p, err := New(addr, Script{
+		{Delay: 50 * time.Millisecond},
+		{Drop: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	conn := dialProxy(t, p)
+	t0 := time.Now()
+	if _, err := exchange(conn, []byte("x"), time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(t0); d < 50*time.Millisecond {
+		t.Errorf("delayed exchange took %v, want >= 50ms", d)
+	}
+	// The dropped exchange blackholes: the client read must hit its own
+	// deadline, not see a close.
+	_, err = exchange(conn, []byte("y"), 100*time.Millisecond)
+	conn.Close()
+	var ne net.Error
+	if !errors.As(err, &ne) || !ne.Timeout() {
+		t.Errorf("dropped exchange: err=%v, want timeout", err)
+	}
+}
+
+func TestPartitionHeal(t *testing.T) {
+	addr, stop := echoServer(t)
+	defer stop()
+	p, err := New(addr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	conn := dialProxy(t, p)
+	if _, err := exchange(conn, []byte("a"), time.Second); err != nil {
+		t.Fatal(err)
+	}
+	p.Partition()
+	// The existing connection dies...
+	if _, err := exchange(conn, []byte("b"), time.Second); err == nil {
+		t.Error("exchange on partitioned proxy succeeded")
+	}
+	conn.Close()
+	// ...and new connections fail on first use.
+	conn2, err := net.Dial("tcp", p.Addr())
+	if err == nil {
+		if _, err := exchange(conn2, []byte("c"), time.Second); err == nil {
+			t.Error("exchange on fresh conn during partition succeeded")
+		}
+		conn2.Close()
+	}
+	p.Heal()
+	conn3 := dialProxy(t, p)
+	defer conn3.Close()
+	if _, err := exchange(conn3, []byte("d"), time.Second); err != nil {
+		t.Errorf("exchange after heal: %v", err)
+	}
+}
+
+func TestFailFirstSchedule(t *testing.T) {
+	addr, stop := echoServer(t)
+	defer stop()
+	p, err := New(addr, FailFirst{N: 2, Fault: Op{Reset: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	for i := 0; i < 2; i++ {
+		conn := dialProxy(t, p)
+		if _, err := exchange(conn, []byte("x"), time.Second); err == nil {
+			t.Errorf("exchange %d should fail", i)
+		}
+		conn.Close()
+	}
+	conn := dialProxy(t, p)
+	defer conn.Close()
+	if _, err := exchange(conn, []byte("x"), time.Second); err != nil {
+		t.Errorf("recovered exchange failed: %v", err)
+	}
+}
+
+// Random policies with the same seed must produce identical fault
+// sequences — the determinism contract.
+func TestRandomDeterminism(t *testing.T) {
+	a := &Random{Seed: 42, Jitter: time.Millisecond, ResetProb: 0.3, DropProb: 0.2}
+	b := &Random{Seed: 42, Jitter: time.Millisecond, ResetProb: 0.3, DropProb: 0.2}
+	for i := 0; i < 200; i++ {
+		if !reflect.DeepEqual(a.Next(i), b.Next(i)) {
+			t.Fatalf("sequences diverge at %d", i)
+		}
+	}
+}
+
+func TestOversizeRequestRejectedByProxy(t *testing.T) {
+	addr, stop := echoServer(t)
+	defer stop()
+	p, err := New(addr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	conn := dialProxy(t, p)
+	defer conn.Close()
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], 1<<27) // above the proxy's own cap
+	if _, err := conn.Write(hdr[:]); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(time.Second))
+	if _, err := io.ReadAll(conn); err != nil && !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("read: %v", err)
+	}
+	// The proxy must have dropped the connection rather than buffering.
+	if _, err := exchange(conn, []byte("x"), 200*time.Millisecond); err == nil {
+		t.Error("proxy kept serving after oversize request")
+	}
+}

@@ -1,0 +1,128 @@
+package multiserver
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is the circuit-breaker state machine position.
+type BreakerState int32
+
+const (
+	// BreakerClosed: requests flow; consecutive failures are counted.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: requests fail fast without touching the backend until
+	// the cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen: one probe request is allowed through; its outcome
+	// closes or re-opens the breaker.
+	BreakerHalfOpen
+)
+
+// String returns the conventional lowercase state name.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// Breaker is a per-backend circuit breaker. After Threshold consecutive
+// transport failures it opens: Allow fails fast, so a dead backend costs
+// one timeout when the breaker trips rather than one per request. After
+// Cooldown it half-opens and admits a single probe; a successful probe
+// closes the breaker, a failed one re-opens it for another cooldown.
+//
+// Application-level errors (the backend answered, but with an error
+// frame) must not be recorded as failures — the backend is alive.
+type Breaker struct {
+	mu        sync.Mutex
+	threshold int
+	cooldown  time.Duration
+	state     BreakerState
+	failures  int
+	openedAt  time.Time
+	probing   bool
+	opens     uint64
+}
+
+// NewBreaker returns a closed breaker. threshold <= 0 selects 5;
+// cooldown <= 0 selects one second.
+func NewBreaker(threshold int, cooldown time.Duration) *Breaker {
+	if threshold <= 0 {
+		threshold = 5
+	}
+	if cooldown <= 0 {
+		cooldown = time.Second
+	}
+	return &Breaker{threshold: threshold, cooldown: cooldown}
+}
+
+// Allow reports whether a request may proceed. In the half-open state
+// only one in-flight probe is admitted at a time.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if time.Since(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.state = BreakerHalfOpen
+		b.probing = true
+		return true
+	default: // half-open
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// Success records a successful exchange, closing the breaker.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = BreakerClosed
+	b.failures = 0
+	b.probing = false
+}
+
+// Failure records a transport failure, opening the breaker when the
+// consecutive-failure threshold is reached (immediately if half-open).
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.probing = false
+	b.failures++
+	if b.state == BreakerHalfOpen || b.failures >= b.threshold {
+		if b.state != BreakerOpen {
+			b.opens++
+		}
+		b.state = BreakerOpen
+		b.openedAt = time.Now()
+		b.failures = 0
+	}
+}
+
+// State returns the current state (open flips to half-open lazily in
+// Allow, so a cooled-down open breaker still reports open until probed).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Opens returns how many times the breaker has transitioned to open.
+func (b *Breaker) Opens() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.opens
+}

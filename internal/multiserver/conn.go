@@ -1,0 +1,261 @@
+package multiserver
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ConnOpts tunes a hardened backend connection. The zero value selects
+// production-safe defaults for every knob.
+type ConnOpts struct {
+	// Timeout is the per-exchange deadline covering the dial (when a
+	// reconnect is needed), the request write, and the response read.
+	// 0 selects DefaultTimeout.
+	Timeout time.Duration
+	// MaxRetries is how many times a failed exchange is retried on a
+	// fresh connection (queries are idempotent). 0 selects
+	// DefaultMaxRetries; negative disables retries.
+	MaxRetries int
+	// RetryBase is the first backoff delay; it doubles per attempt with
+	// up to 50% added jitter, capped at RetryMax. 0 selects 10ms.
+	RetryBase time.Duration
+	// RetryMax caps the backoff delay. 0 selects 250ms.
+	RetryMax time.Duration
+	// BreakerThreshold is the consecutive-failure count that opens the
+	// per-backend circuit breaker. 0 selects 5.
+	BreakerThreshold int
+	// BreakerCooldown is how long the breaker stays open before
+	// half-opening for a probe. 0 selects 1s.
+	BreakerCooldown time.Duration
+	// Seed seeds the backoff jitter so fault-injection tests are
+	// deterministic. 0 selects a fixed default seed (determinism over
+	// cross-process decorrelation — this is a reproduction harness).
+	Seed int64
+}
+
+// Defaults for ConnOpts zero values.
+const (
+	DefaultTimeout    = 2 * time.Second
+	DefaultMaxRetries = 2
+)
+
+func (o ConnOpts) withDefaults() ConnOpts {
+	if o.Timeout == 0 {
+		o.Timeout = DefaultTimeout
+	}
+	if o.MaxRetries == 0 {
+		o.MaxRetries = DefaultMaxRetries
+	}
+	if o.MaxRetries < 0 {
+		o.MaxRetries = 0
+	}
+	if o.RetryBase == 0 {
+		o.RetryBase = 10 * time.Millisecond
+	}
+	if o.RetryMax == 0 {
+		o.RetryMax = 250 * time.Millisecond
+	}
+	if o.BreakerThreshold == 0 {
+		o.BreakerThreshold = 5
+	}
+	if o.BreakerCooldown == 0 {
+		o.BreakerCooldown = time.Second
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// ErrBreakerOpen is returned by Exchange when the backend's circuit
+// breaker is open and the request failed fast without touching the wire.
+var ErrBreakerOpen = errors.New("multiserver: circuit breaker open")
+
+// ConnStats counts a connection's fault-handling activity.
+type ConnStats struct {
+	Exchanges  uint64 // exchanges attempted (after breaker admission)
+	Retries    uint64 // extra attempts beyond the first, per exchange
+	Reconnects uint64 // fresh dials after the initial connect
+	Failures   uint64 // exchanges that exhausted retries
+	FastFails  uint64 // exchanges rejected by the open breaker
+}
+
+// Conn is a hardened connection to one frame-protocol backend: every
+// exchange runs under a deadline, transport failures reconnect and retry
+// with exponential backoff + jitter (queries are idempotent), and a
+// per-backend circuit breaker makes a dead server cost one timeout
+// rather than one per request. Conn serializes exchanges; it is safe for
+// concurrent use.
+type Conn struct {
+	addr    string
+	opts    ConnOpts
+	breaker *Breaker
+
+	mu     sync.Mutex
+	c      net.Conn
+	rng    *rand.Rand
+	dialed bool // the initial eager dial happened
+
+	exchanges, retries, reconnects, failures, fastFails atomic.Uint64
+}
+
+// DialConn eagerly connects to addr so configuration errors surface at
+// startup; later failures reconnect lazily.
+func DialConn(addr string, opts ConnOpts) (*Conn, error) {
+	c := NewConn(addr, opts)
+	conn, err := net.DialTimeout("tcp", addr, c.opts.Timeout)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	c.c = conn
+	c.dialed = true
+	c.mu.Unlock()
+	return c, nil
+}
+
+// NewConn returns a Conn that dials lazily on first use — useful for
+// replica sets where a replica may be down at startup.
+func NewConn(addr string, opts ConnOpts) *Conn {
+	opts = opts.withDefaults()
+	return &Conn{
+		addr:    addr,
+		opts:    opts,
+		breaker: NewBreaker(opts.BreakerThreshold, opts.BreakerCooldown),
+		rng:     rand.New(rand.NewSource(opts.Seed)),
+	}
+}
+
+// Addr returns the backend address.
+func (c *Conn) Addr() string { return c.addr }
+
+// Breaker exposes the connection's circuit breaker (for health probes
+// and tests).
+func (c *Conn) Breaker() *Breaker { return c.breaker }
+
+// Stats returns a snapshot of the connection's fault-handling counters.
+func (c *Conn) Stats() ConnStats {
+	return ConnStats{
+		Exchanges:  c.exchanges.Load(),
+		Retries:    c.retries.Load(),
+		Reconnects: c.reconnects.Load(),
+		Failures:   c.failures.Load(),
+		FastFails:  c.fastFails.Load(),
+	}
+}
+
+// Close closes the underlying connection, if any.
+func (c *Conn) Close() {
+	c.mu.Lock()
+	if c.c != nil {
+		c.c.Close()
+		c.c = nil
+	}
+	c.mu.Unlock()
+}
+
+// Exchange sends one request frame and returns the response body,
+// retrying on a fresh connection (with backoff) after transport
+// failures. Error frames from the backend return a *ServerError without
+// retrying and without tripping the breaker: the backend is alive, the
+// request is bad.
+func (c *Conn) Exchange(req []byte) ([]byte, error) {
+	if !c.breaker.Allow() {
+		c.fastFails.Add(1)
+		return nil, fmt.Errorf("%w (%s)", ErrBreakerOpen, c.addr)
+	}
+	c.exchanges.Add(1)
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		resp, err := c.exchangeOnce(req)
+		if err == nil {
+			c.breaker.Success()
+			return resp, nil
+		}
+		var se *ServerError
+		if errors.As(err, &se) {
+			c.breaker.Success()
+			return nil, err
+		}
+		lastErr = err
+		c.breaker.Failure()
+		if attempt >= c.opts.MaxRetries {
+			break
+		}
+		if !c.breaker.Allow() {
+			// The breaker opened mid-retry (e.g. other goroutines failed
+			// too); stop burning attempts on a dead backend.
+			break
+		}
+		c.retries.Add(1)
+		time.Sleep(c.backoff(attempt))
+	}
+	c.failures.Add(1)
+	return nil, fmt.Errorf("multiserver: exchange with %s: %w", c.addr, lastErr)
+}
+
+// backoff returns the delay before retry attempt+1: RetryBase doubled
+// per attempt, capped at RetryMax, with up to 50% deterministic jitter.
+func (c *Conn) backoff(attempt int) time.Duration {
+	d := c.opts.RetryBase << uint(attempt)
+	if d > c.opts.RetryMax || d <= 0 {
+		d = c.opts.RetryMax
+	}
+	c.mu.Lock()
+	j := time.Duration(c.rng.Int63n(int64(d)/2 + 1))
+	c.mu.Unlock()
+	return d + j
+}
+
+// exchangeOnce runs a single framed round trip under the deadline,
+// dialing first if there is no live connection.
+func (c *Conn) exchangeOnce(req []byte) ([]byte, error) {
+	deadline := time.Now().Add(c.opts.Timeout)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.c == nil {
+		conn, err := net.DialTimeout("tcp", c.addr, time.Until(deadline))
+		if err != nil {
+			return nil, err
+		}
+		if c.dialed {
+			c.reconnects.Add(1)
+		}
+		c.dialed = true
+		c.c = conn
+	}
+	c.c.SetDeadline(deadline)
+	if err := writeFrame(c.c, req); err != nil {
+		c.dropLocked()
+		return nil, err
+	}
+	resp, err := readResponse(c.c)
+	if err != nil {
+		var se *ServerError
+		if errors.As(err, &se) {
+			// Application error: the stream is still in sync; keep the
+			// connection.
+			c.c.SetDeadline(time.Time{})
+			return nil, err
+		}
+		c.dropLocked()
+		return nil, err
+	}
+	c.c.SetDeadline(time.Time{})
+	return resp, nil
+}
+
+// dropLocked discards the connection after a transport error so the next
+// exchange starts from a clean dial (a half-read frame would desync the
+// stream). Callers hold c.mu.
+func (c *Conn) dropLocked() {
+	if c.c != nil {
+		c.c.Close()
+		c.c = nil
+	}
+}

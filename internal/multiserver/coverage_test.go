@@ -69,8 +69,8 @@ func TestQueryAgainstClosedServers(t *testing.T) {
 
 func TestMalformedFrameFromServer(t *testing.T) {
 	// A server that answers with a malformed ID frame: client must error.
-	srv, err := Serve("127.0.0.1:0", ServeOpts{}, func([]byte) []byte {
-		return []byte{0, 0, 0, 9, 1} // claims 9 ids, sends 1 byte
+	srv, err := Serve("127.0.0.1:0", ServeOpts{}, func([]byte) ([]byte, error) {
+		return []byte{0, 0, 0, 9, 1}, nil // claims 9 ids, sends 1 byte
 	})
 	if err != nil {
 		t.Fatal(err)

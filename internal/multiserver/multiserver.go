@@ -62,7 +62,27 @@ func (b InvertedBackend) MatchIDs(query string) []uint64 {
 	return ids
 }
 
-// Frame protocol: 4-byte big-endian length, then payload.
+// Frame protocol: 4-byte big-endian length, then payload. Request frames
+// carry the raw request body. Response frames carry a status byte first:
+// statusOK followed by the response body, or statusError followed by a
+// UTF-8 error message. The status byte is what lets a client distinguish
+// a legitimately empty response from a server-side failure — without it,
+// an error encoded as a zero-length frame is indistinguishable from a
+// valid empty metadata response.
+
+const (
+	statusOK    = 0x00
+	statusError = 0x01
+)
+
+// ServerError is an application-level error reported by a backend in an
+// error frame. The backend is alive and the stream remains in sync, so
+// clients do not retry these and do not count them against the circuit
+// breaker.
+type ServerError struct{ Msg string }
+
+// Error implements error.
+func (e *ServerError) Error() string { return "multiserver: server error: " + e.Msg }
 
 func writeFrame(w io.Writer, payload []byte) error {
 	var hdr [4]byte
@@ -90,6 +110,41 @@ func readFrame(r io.Reader) ([]byte, error) {
 	return payload, nil
 }
 
+// writeResponse frames a handler result with its status byte.
+func writeResponse(w io.Writer, body []byte, herr error) error {
+	if herr != nil {
+		msg := herr.Error()
+		buf := make([]byte, 1+len(msg))
+		buf[0] = statusError
+		copy(buf[1:], msg)
+		return writeFrame(w, buf)
+	}
+	buf := make([]byte, 1+len(body))
+	buf[0] = statusOK
+	copy(buf[1:], body)
+	return writeFrame(w, buf)
+}
+
+// readResponse reads a response frame and decodes its status byte,
+// returning the body for ok frames and a *ServerError for error frames.
+func readResponse(r io.Reader) ([]byte, error) {
+	payload, err := readFrame(r)
+	if err != nil {
+		return nil, err
+	}
+	if len(payload) == 0 {
+		return nil, errors.New("multiserver: response frame missing status byte")
+	}
+	switch payload[0] {
+	case statusOK:
+		return payload[1:], nil
+	case statusError:
+		return nil, &ServerError{Msg: string(payload[1:])}
+	default:
+		return nil, fmt.Errorf("multiserver: unknown response status 0x%02x", payload[0])
+	}
+}
+
 // ServeOpts configures a Server.
 type ServeOpts struct {
 	// Latency is the injected per-request wire delay.
@@ -105,7 +160,7 @@ type ServeOpts struct {
 // latency and service-time accounting.
 type Server struct {
 	ln      net.Listener
-	handler func([]byte) []byte
+	handler func([]byte) ([]byte, error)
 	latency time.Duration
 	cpu     chan struct{} // nil = unlimited
 
@@ -120,8 +175,9 @@ type Server struct {
 
 // Serve starts a server on addr (use "127.0.0.1:0" for an ephemeral port).
 // Each request frame is answered by handler(payload) after sleeping the
-// injected latency (simulated wire delay).
-func Serve(addr string, opts ServeOpts, handler func([]byte) []byte) (*Server, error) {
+// injected latency (simulated wire delay). A handler error is reported to
+// the client as an error frame (the connection stays up).
+func Serve(addr string, opts ServeOpts, handler func([]byte) ([]byte, error)) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
@@ -223,13 +279,13 @@ func (s *Server) handleConn(conn net.Conn) {
 			s.cpu <- struct{}{}
 		}
 		start := time.Now()
-		resp := s.handler(req)
+		resp, herr := s.handler(req)
 		atomic.AddInt64(&s.busyNanos, time.Since(start).Nanoseconds())
 		if s.cpu != nil {
 			<-s.cpu
 		}
 		atomic.AddInt64(&s.requests, 1)
-		if err := writeFrame(conn, resp); err != nil {
+		if err := writeResponse(conn, resp, herr); err != nil {
 			return
 		}
 	}
@@ -261,81 +317,152 @@ func decodeIDs(data []byte) ([]uint64, error) {
 	return ids, nil
 }
 
+// EncodeIDs, DecodeIDs, and DecodeMeta expose the wire encodings for
+// clients that speak the protocol directly (e.g. internal/shard).
+func EncodeIDs(ids []uint64) []byte { return encodeIDs(ids) }
+
+// DecodeIDs parses an ID-list frame body.
+func DecodeIDs(data []byte) ([]uint64, error) { return decodeIDs(data) }
+
+// DecodeMeta parses a metadata frame body.
+func DecodeMeta(data []byte) ([]AdMeta, error) { return decodeMeta(data) }
+
 // NewIndexServer starts the index server: requests are query texts,
 // responses are matching ad ID lists.
 func NewIndexServer(addr string, opts ServeOpts, backend Backend) (*Server, error) {
-	return Serve(addr, opts, func(req []byte) []byte {
-		return encodeIDs(backend.MatchIDs(string(req)))
+	return Serve(addr, opts, func(req []byte) ([]byte, error) {
+		return encodeIDs(backend.MatchIDs(string(req))), nil
 	})
+}
+
+// AdMeta is the fixed-width per-ad metadata record served by the ad
+// server (zeroes for unknown IDs).
+type AdMeta struct {
+	BidMicros int64
+	ClickRate uint16
+}
+
+const adMetaBytes = 10
+
+func encodeMeta(meta []AdMeta) []byte {
+	buf := make([]byte, adMetaBytes*len(meta))
+	for i, m := range meta {
+		binary.BigEndian.PutUint64(buf[adMetaBytes*i:], uint64(m.BidMicros))
+		binary.BigEndian.PutUint16(buf[adMetaBytes*i+8:], m.ClickRate)
+	}
+	return buf
+}
+
+func decodeMeta(data []byte) ([]AdMeta, error) {
+	if len(data)%adMetaBytes != 0 {
+		return nil, fmt.Errorf("multiserver: metadata frame of %d bytes not a record multiple", len(data))
+	}
+	meta := make([]AdMeta, len(data)/adMetaBytes)
+	for i := range meta {
+		meta[i].BidMicros = int64(binary.BigEndian.Uint64(data[adMetaBytes*i:]))
+		meta[i].ClickRate = binary.BigEndian.Uint16(data[adMetaBytes*i+8:])
+	}
+	return meta, nil
 }
 
 // NewAdServer starts the metadata server: requests are ad ID lists,
 // responses are fixed-width metadata records (bid price and click rate per
-// ID; zeroes for unknown IDs).
+// ID; zeroes for unknown IDs). A malformed ID request is answered with an
+// error frame — never an empty success, which a client could not tell
+// apart from a valid zero-ID response.
 func NewAdServer(addr string, opts ServeOpts, ads []corpus.Ad) (*Server, error) {
 	byID := make(map[uint64]*corpus.Ad, len(ads))
 	for i := range ads {
 		byID[ads[i].ID] = &ads[i]
 	}
-	return Serve(addr, opts, func(req []byte) []byte {
+	return Serve(addr, opts, func(req []byte) ([]byte, error) {
 		ids, err := decodeIDs(req)
 		if err != nil {
-			return nil
+			return nil, err
 		}
-		resp := make([]byte, 10*len(ids))
+		meta := make([]AdMeta, len(ids))
 		for i, id := range ids {
 			if ad, ok := byID[id]; ok {
-				binary.BigEndian.PutUint64(resp[10*i:], uint64(ad.Meta.BidMicros))
-				binary.BigEndian.PutUint16(resp[10*i+8:], ad.Meta.ClickRate)
+				meta[i] = AdMeta{BidMicros: ad.Meta.BidMicros, ClickRate: ad.Meta.ClickRate}
 			}
 		}
-		return resp
+		return encodeMeta(meta), nil
 	})
 }
 
-// Client issues end-to-end queries: index server, then ad server.
+// Client issues end-to-end queries: index server, then ad server. Both
+// hops run over hardened Conns (per-exchange deadlines, reconnect, bounded
+// retry with backoff, per-backend circuit breakers).
 type Client struct {
-	indexConn net.Conn
-	adConn    net.Conn
+	index *Conn
+	ad    *Conn
 }
 
-// Dial connects to both servers.
+// Dial connects to both servers with default ConnOpts.
 func Dial(indexAddr, adAddr string) (*Client, error) {
-	ic, err := net.Dial("tcp", indexAddr)
+	return DialOpts(indexAddr, adAddr, ConnOpts{})
+}
+
+// DialOpts connects to both servers. The initial dials are eager so a
+// misconfigured address fails here; subsequent failures reconnect lazily.
+func DialOpts(indexAddr, adAddr string, opts ConnOpts) (*Client, error) {
+	ic, err := DialConn(indexAddr, opts)
 	if err != nil {
 		return nil, err
 	}
-	ac, err := net.Dial("tcp", adAddr)
+	ac, err := DialConn(adAddr, opts)
 	if err != nil {
 		ic.Close()
 		return nil, err
 	}
-	return &Client{indexConn: ic, adConn: ac}, nil
+	return &Client{index: ic, ad: ac}, nil
 }
 
 // Close closes both connections.
 func (c *Client) Close() {
-	c.indexConn.Close()
-	c.adConn.Close()
+	c.index.Close()
+	c.ad.Close()
+}
+
+// IndexConn and AdConn expose the per-backend hardened connections (for
+// stats and breaker inspection).
+func (c *Client) IndexConn() *Conn { return c.index }
+
+// AdConn returns the ad-server connection.
+func (c *Client) AdConn() *Conn { return c.ad }
+
+// QueryIDs runs the index hop only, returning matching ad IDs.
+func (c *Client) QueryIDs(query string) ([]uint64, error) {
+	resp, err := c.index.Exchange([]byte(query))
+	if err != nil {
+		return nil, err
+	}
+	return decodeIDs(resp)
+}
+
+// FetchMeta runs the metadata hop for ids, returning one record per ID.
+func (c *Client) FetchMeta(ids []uint64) ([]AdMeta, error) {
+	resp, err := c.ad.Exchange(encodeIDs(ids))
+	if err != nil {
+		return nil, err
+	}
+	meta, err := decodeMeta(resp)
+	if err != nil {
+		return nil, err
+	}
+	if len(meta) != len(ids) {
+		return nil, fmt.Errorf("multiserver: %d metadata records for %d ids", len(meta), len(ids))
+	}
+	return meta, nil
 }
 
 // Query runs one end-to-end retrieval and returns the matching ad IDs.
 func (c *Client) Query(query string) ([]uint64, error) {
-	if err := writeFrame(c.indexConn, []byte(query)); err != nil {
-		return nil, err
-	}
-	resp, err := readFrame(c.indexConn)
+	ids, err := c.QueryIDs(query)
 	if err != nil {
 		return nil, err
 	}
-	ids, err := decodeIDs(resp)
-	if err != nil {
-		return nil, err
-	}
-	if err := writeFrame(c.adConn, encodeIDs(ids)); err != nil {
-		return nil, err
-	}
-	if _, err := readFrame(c.adConn); err != nil {
+	if _, err := c.FetchMeta(ids); err != nil {
 		return nil, err
 	}
 	return ids, nil
@@ -346,7 +473,11 @@ const LatencyBucketMillis = 5
 
 // LoadResult summarizes a closed-loop load run.
 type LoadResult struct {
-	Requests   int
+	Requests int
+	// Errors counts queries that failed after the client's own retries
+	// were exhausted. Failed queries are excluded from the latency
+	// histogram and throughput, so transient faults skew neither.
+	Errors     int
 	Elapsed    time.Duration
 	Throughput float64 // requests per second
 	// Buckets[i] counts requests with latency in [5i, 5(i+1)) ms.
@@ -374,6 +505,12 @@ func (r *LoadResult) FractionWithin(d time.Duration) float64 {
 // deployment using a closed loop of `concurrency` workers, measuring the
 // latency distribution and throughput. indexSrv is consulted for the busy
 // fraction.
+//
+// A worker that hits a transient error records it in LoadResult.Errors,
+// discards its client, and continues with a fresh connection — one flaky
+// exchange must not silently remove a worker and skew the measured
+// throughput and latency for the rest of the run. RunLoad returns an
+// error only when every worker failed and nothing succeeded.
 func RunLoad(indexSrv *Server, adAddr string, stream []*workload.Query, concurrency int, indexAddr string) (*LoadResult, error) {
 	if concurrency < 1 {
 		concurrency = 1
@@ -390,30 +527,42 @@ func RunLoad(indexSrv *Server, adAddr string, stream []*workload.Query, concurre
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			client, err := Dial(indexAddr, adAddr)
-			if err != nil {
-				mu.Lock()
-				if firstErr == nil {
-					firstErr = err
+			var client *Client
+			defer func() {
+				if client != nil {
+					client.Close()
 				}
-				mu.Unlock()
-				return
-			}
-			defer client.Close()
+			}()
 			for {
 				i := int(atomic.AddInt64(&next, 1))
 				if i >= len(stream) {
 					return
 				}
+				if client == nil {
+					c, err := Dial(indexAddr, adAddr)
+					if err != nil {
+						mu.Lock()
+						res.Errors++
+						if firstErr == nil {
+							firstErr = err
+						}
+						mu.Unlock()
+						continue
+					}
+					client = c
+				}
 				q := joinQuery(stream[i].Words)
 				t0 := time.Now()
 				if _, err := client.Query(q); err != nil {
+					client.Close()
+					client = nil
 					mu.Lock()
+					res.Errors++
 					if firstErr == nil {
 						firstErr = err
 					}
 					mu.Unlock()
-					return
+					continue
 				}
 				lat := time.Since(t0)
 				bucket := int(lat / (LatencyBucketMillis * time.Millisecond))
@@ -430,7 +579,7 @@ func RunLoad(indexSrv *Server, adAddr string, stream []*workload.Query, concurre
 	}
 	wg.Wait()
 	res.Elapsed = time.Since(start)
-	if firstErr != nil {
+	if res.Requests == 0 && firstErr != nil {
 		return nil, firstErr
 	}
 	if res.Requests > 0 {

@@ -156,6 +156,12 @@ type Registry struct {
 	InFlight atomic.Int64
 	// Mutations counts /insert + /delete calls served.
 	Mutations atomic.Uint64
+	// Degraded counts remote-mode /search responses served from a
+	// partial backend set (shards skipped or metadata missing).
+	Degraded atomic.Uint64
+	// BackendErrors counts remote-mode /search requests that failed
+	// outright because too few backends answered.
+	BackendErrors atomic.Uint64
 	// Latency is the end-to-end /search latency (queue wait + match +
 	// encode) for admitted requests.
 	Latency Histogram
@@ -186,12 +192,17 @@ type MetricsSnapshot struct {
 		Invalidations uint64 `json:"invalidations"`
 		Entries       int    `json:"entries"`
 	} `json:"cache"`
-	Shed      uint64            `json:"shed"`
-	Timeouts  uint64            `json:"timeouts"`
-	InFlight  int64             `json:"in_flight"`
-	Mutations uint64            `json:"mutations"`
-	Epoch     uint64            `json:"epoch"`
-	Latency   HistogramSnapshot `json:"latency"`
+	Shed          uint64            `json:"shed"`
+	Timeouts      uint64            `json:"timeouts"`
+	InFlight      int64             `json:"in_flight"`
+	Mutations     uint64            `json:"mutations"`
+	Degraded      uint64            `json:"degraded"`
+	BackendErrors uint64            `json:"backend_errors"`
+	Epoch         uint64            `json:"epoch"`
+	Latency       HistogramSnapshot `json:"latency"`
+	// Backends is present in remote mode only: the distributed client's
+	// retry/breaker/degradation counters and per-shard replica health.
+	Backends *BackendsSnapshot `json:"backends,omitempty"`
 }
 
 // Snapshot captures all counters (the cache section and the epoch are
@@ -206,6 +217,8 @@ func (r *Registry) Snapshot() MetricsSnapshot {
 	s.Timeouts = r.Timeouts.Load()
 	s.InFlight = r.InFlight.Load()
 	s.Mutations = r.Mutations.Load()
+	s.Degraded = r.Degraded.Load()
+	s.BackendErrors = r.BackendErrors.Load()
 	s.Latency = r.Latency.Snapshot()
 	return s
 }

@@ -36,6 +36,8 @@ import (
 	"time"
 
 	"adindex"
+	"adindex/internal/multiserver"
+	"adindex/internal/shard"
 	"adindex/internal/textnorm"
 )
 
@@ -71,6 +73,12 @@ type Config struct {
 	ReadTimeout, WriteTimeout, IdleTimeout time.Duration
 	// ShutdownTimeout bounds the graceful drain in Run. 0 selects 10s.
 	ShutdownTimeout time.Duration
+	// BackendLossGrace applies to remote-mode servers (NewRemote): when
+	// some backend shard (or the ad-metadata server) has been
+	// continuously unreachable for longer than this, /readyz reports 503
+	// so load balancers route around the sustained loss. Transient blips
+	// shorter than the grace never flip readiness. 0 selects 10s.
+	BackendLossGrace time.Duration
 	// Logger receives lifecycle log lines; nil selects log.Default().
 	Logger *log.Logger
 }
@@ -114,6 +122,9 @@ func (c Config) withDefaults() Config {
 	if c.ShutdownTimeout == 0 {
 		c.ShutdownTimeout = 10 * time.Second
 	}
+	if c.BackendLossGrace == 0 {
+		c.BackendLossGrace = 10 * time.Second
+	}
 	if c.Logger == nil {
 		c.Logger = log.Default()
 	}
@@ -124,7 +135,8 @@ func (c Config) withDefaults() Config {
 // start with Start (or Run for signal-managed lifetime), stop with
 // Shutdown.
 type Server struct {
-	ix      *adindex.Index
+	ix      *adindex.Index   // nil in remote mode
+	remote  *shard.NetClient // nil in local mode
 	cfg     Config
 	cache   *Cache
 	limiter *Limiter
@@ -144,9 +156,27 @@ type Server struct {
 // New builds a serving layer over ix. The server owns no goroutines until
 // Start.
 func New(ix *adindex.Index, cfg Config) *Server {
+	return newServer(ix, nil, cfg)
+}
+
+// NewRemote builds a serving layer that answers /search by fanning out to
+// a remote sharded deployment through nc instead of a local index. The
+// distributed client's fault tolerance surfaces here: degraded responses
+// are flagged and counted, /metrics includes retry/breaker/degradation
+// counters, and /readyz turns unready after sustained backend loss
+// (Config.BackendLossGrace). Mutating and index-introspection endpoints
+// (insert/delete/stats/optimize) respond 501, and the result cache is
+// bypassed — the remote corpus has no visible mutation epoch to
+// invalidate on.
+func NewRemote(nc *shard.NetClient, cfg Config) *Server {
+	return newServer(nil, nc, cfg)
+}
+
+func newServer(ix *adindex.Index, nc *shard.NetClient, cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		ix:       ix,
+		remote:   nc,
 		cfg:      cfg,
 		cache:    NewCache(cfg.CacheEntries, cfg.CacheShards),
 		limiter:  NewLimiter(cfg.MaxInflight, cfg.MaxQueue),
@@ -273,6 +303,14 @@ type searchResponse struct {
 	Cached  bool         `json:"cached"`
 	Ads     []adindex.Ad `json:"ads"`
 	TookUS  int64        `json:"took_us"`
+
+	// Remote-mode fields: the distributed deployment serves IDs (+ per-ID
+	// metadata) rather than full ad records, and flags degradation.
+	IDs          []uint64             `json:"ids,omitempty"`
+	Meta         []multiserver.AdMeta `json:"meta,omitempty"`
+	Degraded     bool                 `json:"degraded,omitempty"`
+	FailedShards []int                `json:"failed_shards,omitempty"`
+	MetaMissing  bool                 `json:"meta_missing,omitempty"`
 }
 
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
@@ -310,6 +348,11 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	s.metrics.InFlight.Add(1)
 	defer s.metrics.InFlight.Add(-1)
 	s.metrics.reqCounter(matchType).Add(1)
+
+	if s.remote != nil {
+		s.searchRemote(w, q, matchType, start)
+		return
+	}
 
 	s.ix.Observe(q)
 	// The epoch is read before the match runs: if a mutation lands while
@@ -349,6 +392,48 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	s.metrics.Latency.Observe(time.Since(start))
 }
 
+// searchRemote answers a /search through the distributed shard client.
+// Only broad match exists on the wire protocol; a degraded (partial or
+// ID-only) answer is served with its degradation flags rather than
+// failing, and total backend failure maps to 502.
+func (s *Server) searchRemote(w http.ResponseWriter, q, matchType string, start time.Time) {
+	if matchType != "broad" {
+		s.metrics.BadRequests.Add(1)
+		http.Error(w, "remote serving supports type=broad only", http.StatusNotImplemented)
+		return
+	}
+	res, err := s.remote.QueryResult(q)
+	if err != nil {
+		s.metrics.BackendErrors.Add(1)
+		http.Error(w, "backend query failed: "+err.Error(), http.StatusBadGateway)
+		return
+	}
+	if res.Degraded {
+		s.metrics.Degraded.Add(1)
+	}
+	s.writeJSON(w, searchResponse{
+		Query:        q,
+		Type:         matchType,
+		Matched:      len(res.IDs),
+		IDs:          res.IDs,
+		Meta:         res.Meta,
+		Degraded:     res.Degraded,
+		FailedShards: res.FailedShards,
+		MetaMissing:  res.MetaMissing,
+		TookUS:       time.Since(start).Microseconds(),
+	})
+	s.metrics.Latency.Observe(time.Since(start))
+}
+
+// requireLocal guards endpoints that need a local index.
+func (s *Server) requireLocal(w http.ResponseWriter) bool {
+	if s.ix == nil {
+		http.Error(w, "not supported in remote (distributed) mode", http.StatusNotImplemented)
+		return false
+	}
+	return true
+}
+
 func (s *Server) shed(w http.ResponseWriter) {
 	w.Header().Set("Retry-After", fmt.Sprintf("%d", int(s.cfg.RetryAfter.Round(time.Second)/time.Second)))
 	http.Error(w, "overloaded, retry later", http.StatusServiceUnavailable)
@@ -361,6 +446,9 @@ type insertRequest struct {
 }
 
 func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
+	if !s.requireLocal(w) {
+		return
+	}
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST required", http.StatusMethodNotAllowed)
 		return
@@ -387,6 +475,9 @@ type deleteRequest struct {
 }
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	if !s.requireLocal(w) {
+		return
+	}
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST required", http.StatusMethodNotAllowed)
 		return
@@ -403,10 +494,16 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	if !s.requireLocal(w) {
+		return
+	}
 	s.writeJSON(w, s.ix.Stats())
 }
 
 func (s *Server) handleOptimize(w http.ResponseWriter, _ *http.Request) {
+	if !s.requireLocal(w) {
+		return
+	}
 	report, err := s.ix.Optimize()
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
@@ -419,7 +516,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	snap := s.metrics.Snapshot()
 	snap.Cache.Hits, snap.Cache.Misses, snap.Cache.Invalidations = s.cache.Stats()
 	snap.Cache.Entries = s.cache.Len()
-	snap.Epoch = s.ix.Epoch()
+	if s.ix != nil {
+		snap.Epoch = s.ix.Epoch()
+	}
+	if s.remote != nil {
+		snap.Backends = &BackendsSnapshot{
+			Stats:  s.remote.Stats(),
+			Health: s.remote.Health(),
+		}
+	}
 	s.writeJSON(w, snap)
 }
 
@@ -433,8 +538,25 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 		http.Error(w, "draining", http.StatusServiceUnavailable)
 		return
 	}
+	// Remote mode: sustained backend loss makes this front-end unready so
+	// load balancers route around it. Brief blips inside the grace window
+	// keep serving (degraded) rather than flapping readiness.
+	if s.remote != nil {
+		if h := s.remote.Health(); h.DeadFor > s.cfg.BackendLossGrace {
+			http.Error(w, fmt.Sprintf("backends degraded for %v", h.DeadFor.Round(time.Millisecond)),
+				http.StatusServiceUnavailable)
+			return
+		}
+	}
 	w.WriteHeader(http.StatusOK)
 	w.Write([]byte("ready\n"))
+}
+
+// BackendsSnapshot is the remote-mode section of /metrics: aggregate
+// fault-handling counters plus per-shard replica health.
+type BackendsSnapshot struct {
+	Stats  shard.Stats  `json:"stats"`
+	Health shard.Health `json:"health"`
 }
 
 func (s *Server) writeJSON(w http.ResponseWriter, v any) {

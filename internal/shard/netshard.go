@@ -4,69 +4,438 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"adindex/internal/multiserver"
 )
 
-// NetClient fans broad-match queries out to several remote index servers
-// (multiserver protocol) and merges their ID lists — the networked form of
-// the Section VII-B split deployment.
-type NetClient struct {
-	mu      sync.Mutex
-	clients []*multiserver.Client
+// Options tunes NetClient fault tolerance. The zero value selects strict
+// semantics (any shard failure fails the query) with default connection
+// hardening.
+type Options struct {
+	// Conn tunes every backend connection (deadline, retries, backoff,
+	// breaker). Zero values select multiserver defaults.
+	Conn multiserver.ConnOpts
+	// AllowPartial enables graceful degradation in QueryResult: a query
+	// returns the merged matches of the live shards, flagged Degraded
+	// with the failed shards listed, instead of failing outright.
+	AllowPartial bool
+	// MinLiveShards is the minimum number of shards that must answer for
+	// a partial result to be returned (a quorum floor). 0 selects 1.
+	MinLiveShards int
+	// HedgeAfter, when > 0 and a shard has more than one replica, sends
+	// a hedged duplicate of an in-flight query to the next replica after
+	// this delay; the first success wins. Queries are idempotent, so the
+	// only cost is the extra request.
+	HedgeAfter time.Duration
 }
 
-// DialShards connects to every index-server address. All shards share one
-// ad-metadata server (adAddr); pass the index address itself if metadata
-// is co-located.
+func (o Options) withDefaults() Options {
+	if o.MinLiveShards <= 0 {
+		o.MinLiveShards = 1
+	}
+	return o
+}
+
+// Result is the outcome of one fanned-out query.
+type Result struct {
+	// IDs is the merged, ID-ordered match list from all answering shards.
+	IDs []uint64
+	// Meta holds one metadata record per ID (aligned with IDs); nil when
+	// MetaMissing.
+	Meta []multiserver.AdMeta
+	// Degraded is set when anything was missing from the full answer:
+	// a shard was skipped or metadata could not be fetched.
+	Degraded bool
+	// FailedShards lists the shard indexes that did not answer.
+	FailedShards []int
+	// MetaMissing is set when the ad-metadata server was unreachable and
+	// the result is ID-only (zero metadata) — the ID list is still
+	// served rather than failing the whole query.
+	MetaMissing bool
+}
+
+// replicaSet is one shard's replica connections with failover state.
+type replicaSet struct {
+	conns     []*multiserver.Conn
+	preferred atomic.Int32 // replica index tried first
+	deadSince atomic.Int64 // unix-nanos when the whole shard began failing; 0 = live
+}
+
+// order returns replica indexes starting at the preferred replica.
+func (rs *replicaSet) order() []int {
+	p := int(rs.preferred.Load())
+	n := len(rs.conns)
+	out := make([]int, n)
+	for i := range out {
+		out[i] = (p + i) % n
+	}
+	return out
+}
+
+func (rs *replicaSet) markLive() { rs.deadSince.Store(0) }
+func (rs *replicaSet) markDead() {
+	rs.deadSince.CompareAndSwap(0, time.Now().UnixNano())
+}
+
+// deadFor returns how long the shard has had no answering replica
+// (0 when live).
+func (rs *replicaSet) deadFor() time.Duration {
+	t := rs.deadSince.Load()
+	if t == 0 {
+		return 0
+	}
+	return time.Duration(time.Now().UnixNano() - t)
+}
+
+// NetClient fans broad-match queries out to several remote index shards
+// (multiserver protocol) and merges their ID lists — the networked form
+// of the Section VII-B split deployment, hardened for production: each
+// shard may have several replica addresses with automatic failover and
+// optional request hedging, every connection carries deadlines, bounded
+// retries, and a circuit breaker, and (with Options.AllowPartial) the
+// client degrades gracefully instead of failing the whole query.
+type NetClient struct {
+	shards []*replicaSet
+	ad     *multiserver.Conn
+	adDead atomic.Int64 // unix-nanos since the ad server stopped answering
+	opts   Options
+
+	degraded atomic.Uint64
+	hedges   atomic.Uint64
+}
+
+// DialShards connects to every index-server address (one replica per
+// shard, strict query semantics — the compatibility constructor). All
+// shards share one ad-metadata server (adAddr); pass the index address
+// itself if metadata is co-located.
 func DialShards(indexAddrs []string, adAddr string) (*NetClient, error) {
-	if len(indexAddrs) == 0 {
+	replicas := make([][]string, len(indexAddrs))
+	for i, a := range indexAddrs {
+		replicas[i] = []string{a}
+	}
+	return DialReplicaShards(replicas, adAddr, Options{})
+}
+
+// DialReplicaShards connects to a replicated shard deployment:
+// replicaAddrs[i] lists the interchangeable replica addresses of shard i.
+// At least one replica per shard must be reachable at dial time (the
+// rest connect lazily on failover); the ad-metadata server must be
+// reachable.
+func DialReplicaShards(replicaAddrs [][]string, adAddr string, opts Options) (*NetClient, error) {
+	if len(replicaAddrs) == 0 {
 		return nil, fmt.Errorf("shard: no index servers given")
 	}
-	nc := &NetClient{}
-	for _, addr := range indexAddrs {
-		c, err := multiserver.Dial(addr, adAddr)
-		if err != nil {
+	opts = opts.withDefaults()
+	nc := &NetClient{opts: opts}
+	for si, addrs := range replicaAddrs {
+		if len(addrs) == 0 {
 			nc.Close()
-			return nil, fmt.Errorf("shard: dialing %s: %w", addr, err)
+			return nil, fmt.Errorf("shard: shard %d has no replica addresses", si)
 		}
-		nc.clients = append(nc.clients, c)
+		rs := &replicaSet{}
+		reachable := false
+		var dialErr error
+		for _, addr := range addrs {
+			if c, err := multiserver.DialConn(addr, opts.Conn); err == nil {
+				rs.conns = append(rs.conns, c)
+				reachable = true
+			} else {
+				dialErr = err
+				// Keep the replica for lazy failover dialing.
+				rs.conns = append(rs.conns, multiserver.NewConn(addr, opts.Conn))
+			}
+		}
+		if !reachable {
+			nc.Close()
+			return nil, fmt.Errorf("shard: no reachable replica for shard %d: %w", si, dialErr)
+		}
+		nc.shards = append(nc.shards, rs)
 	}
+	ad, err := multiserver.DialConn(adAddr, opts.Conn)
+	if err != nil {
+		nc.Close()
+		return nil, fmt.Errorf("shard: dialing ad server %s: %w", adAddr, err)
+	}
+	nc.ad = ad
 	return nc, nil
 }
 
-// Close closes all shard connections.
+// Close closes all shard and ad-server connections.
 func (nc *NetClient) Close() {
-	for _, c := range nc.clients {
-		if c != nil {
+	for _, rs := range nc.shards {
+		for _, c := range rs.conns {
 			c.Close()
 		}
 	}
+	if nc.ad != nil {
+		nc.ad.Close()
+	}
 }
 
-// Query runs the query on every shard concurrently and returns the merged,
-// ID-ordered match list. The first shard error aborts the query.
+// NumShards returns the shard count.
+func (nc *NetClient) NumShards() int { return len(nc.shards) }
+
+// Query runs the query on every shard concurrently and returns the
+// merged, ID-ordered match list, fetching (and discarding) metadata for
+// parity with the two-hop deployment. Strict semantics: any shard
+// failure fails the query. Use QueryResult for graceful degradation.
 func (nc *NetClient) Query(query string) ([]uint64, error) {
-	results := make([][]uint64, len(nc.clients))
-	errs := make([]error, len(nc.clients))
+	res, err := nc.run(query, false)
+	if err != nil {
+		return nil, err
+	}
+	return res.IDs, nil
+}
+
+// QueryResult runs the query with the client's configured degradation
+// semantics: with Options.AllowPartial, dead shards are skipped (the
+// result is flagged Degraded) and an unreachable ad server yields an
+// ID-only result instead of an error.
+func (nc *NetClient) QueryResult(query string) (*Result, error) {
+	return nc.run(query, nc.opts.AllowPartial)
+}
+
+func (nc *NetClient) run(query string, partial bool) (*Result, error) {
+	ids := make([][]uint64, len(nc.shards))
+	errs := make([]error, len(nc.shards))
 	var wg sync.WaitGroup
-	for i, c := range nc.clients {
+	for i, rs := range nc.shards {
 		wg.Add(1)
-		go func(i int, c *multiserver.Client) {
+		go func(i int, rs *replicaSet) {
 			defer wg.Done()
-			results[i], errs[i] = c.Query(query)
-		}(i, c)
+			ids[i], errs[i] = nc.queryShard(rs, query)
+		}(i, rs)
 	}
 	wg.Wait()
-	for _, err := range errs {
+
+	res := &Result{}
+	live := 0
+	var firstErr error
+	for i, err := range errs {
 		if err != nil {
+			res.FailedShards = append(res.FailedShards, i)
+			if firstErr == nil {
+				firstErr = fmt.Errorf("shard %d: %w", i, err)
+			}
+			continue
+		}
+		live++
+		res.IDs = append(res.IDs, ids[i]...)
+	}
+	if firstErr != nil && !partial {
+		return nil, firstErr
+	}
+	if live < nc.opts.MinLiveShards {
+		return nil, fmt.Errorf("shard: only %d/%d shards answered (min %d): %w",
+			live, len(nc.shards), nc.opts.MinLiveShards, firstErr)
+	}
+	res.Degraded = len(res.FailedShards) > 0
+	sort.Slice(res.IDs, func(i, j int) bool { return res.IDs[i] < res.IDs[j] })
+
+	meta, err := nc.fetchMeta(res.IDs)
+	if err != nil {
+		if !partial {
 			return nil, err
 		}
+		// Graceful degradation: the ad server is down, serve IDs with
+		// zero metadata rather than failing the query.
+		res.MetaMissing = true
+		res.Degraded = true
+	} else {
+		res.Meta = meta
 	}
-	var out []uint64
-	for _, ids := range results {
-		out = append(out, ids...)
+	if res.Degraded {
+		nc.degraded.Add(1)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out, nil
+	return res, nil
 }
+
+// queryShard tries the shard's replicas in preference order, failing
+// over on error; with hedging enabled, a duplicate request goes to the
+// next replica after Options.HedgeAfter and the first success wins.
+func (nc *NetClient) queryShard(rs *replicaSet, query string) ([]uint64, error) {
+	order := rs.order()
+	if nc.opts.HedgeAfter <= 0 || len(order) == 1 {
+		var lastErr error
+		for _, ci := range order {
+			ids, err := queryConn(rs.conns[ci], query)
+			if err == nil {
+				rs.preferred.Store(int32(ci))
+				rs.markLive()
+				return ids, nil
+			}
+			lastErr = err
+		}
+		rs.markDead()
+		return nil, lastErr
+	}
+
+	type attempt struct {
+		ci  int
+		ids []uint64
+		err error
+	}
+	ch := make(chan attempt, len(order))
+	launch := func(ci int) {
+		go func() {
+			ids, err := queryConn(rs.conns[ci], query)
+			ch <- attempt{ci, ids, err}
+		}()
+	}
+	launch(order[0])
+	launched, outstanding := 1, 1
+	timer := time.NewTimer(nc.opts.HedgeAfter)
+	defer timer.Stop()
+	var lastErr error
+	for outstanding > 0 {
+		select {
+		case a := <-ch:
+			outstanding--
+			if a.err == nil {
+				rs.preferred.Store(int32(a.ci))
+				rs.markLive()
+				return a.ids, nil
+			}
+			lastErr = a.err
+			if launched < len(order) {
+				launch(order[launched])
+				launched++
+				outstanding++
+			}
+		case <-timer.C:
+			if launched < len(order) {
+				nc.hedges.Add(1)
+				launch(order[launched])
+				launched++
+				outstanding++
+			}
+		}
+	}
+	rs.markDead()
+	return nil, lastErr
+}
+
+func queryConn(c *multiserver.Conn, query string) ([]uint64, error) {
+	resp, err := c.Exchange([]byte(query))
+	if err != nil {
+		return nil, err
+	}
+	return decodeShardIDs(resp)
+}
+
+func (nc *NetClient) fetchMeta(ids []uint64) ([]multiserver.AdMeta, error) {
+	resp, err := nc.ad.Exchange(encodeShardIDs(ids))
+	if err != nil {
+		nc.adDead.CompareAndSwap(0, time.Now().UnixNano())
+		return nil, fmt.Errorf("shard: ad metadata fetch: %w", err)
+	}
+	nc.adDead.Store(0)
+	meta, err := multiserver.DecodeMeta(resp)
+	if err != nil {
+		return nil, err
+	}
+	if len(meta) != len(ids) {
+		return nil, fmt.Errorf("shard: %d metadata records for %d ids", len(meta), len(ids))
+	}
+	return meta, nil
+}
+
+// ReplicaHealth is one replica's breaker view.
+type ReplicaHealth struct {
+	Addr    string `json:"addr"`
+	Breaker string `json:"breaker"`
+}
+
+// ShardHealth is one shard's liveness view.
+type ShardHealth struct {
+	Replicas  []ReplicaHealth `json:"replicas"`
+	Live      bool            `json:"live"`
+	DeadForMS int64           `json:"dead_for_ms,omitempty"`
+}
+
+// Health summarizes backend liveness for readiness probes: a shard is
+// dead when its last full-fan-out attempt found no answering replica.
+type Health struct {
+	Shards     []ShardHealth `json:"shards"`
+	LiveShards int           `json:"live_shards"`
+	AdBreaker  string        `json:"ad_breaker"`
+	AdLive     bool          `json:"ad_live"`
+	// DeadFor is the longest continuous outage across shards and the ad
+	// server (0 when everything is answering) — the signal a readiness
+	// probe should threshold to stop routing to a client whose backends
+	// are gone.
+	DeadFor time.Duration `json:"-"`
+}
+
+// Health reports current backend liveness.
+func (nc *NetClient) Health() Health {
+	var h Health
+	for _, rs := range nc.shards {
+		sh := ShardHealth{Live: rs.deadSince.Load() == 0}
+		for _, c := range rs.conns {
+			sh.Replicas = append(sh.Replicas, ReplicaHealth{
+				Addr:    c.Addr(),
+				Breaker: c.Breaker().State().String(),
+			})
+		}
+		if d := rs.deadFor(); d > 0 {
+			sh.DeadForMS = d.Milliseconds()
+			if d > h.DeadFor {
+				h.DeadFor = d
+			}
+		}
+		if sh.Live {
+			h.LiveShards++
+		}
+		h.Shards = append(h.Shards, sh)
+	}
+	h.AdLive = nc.adDead.Load() == 0
+	if !h.AdLive {
+		if d := time.Duration(time.Now().UnixNano() - nc.adDead.Load()); d > h.DeadFor {
+			h.DeadFor = d
+		}
+	}
+	if nc.ad != nil {
+		h.AdBreaker = nc.ad.Breaker().State().String()
+	}
+	return h
+}
+
+// Stats aggregates the fault-handling counters of every connection.
+type Stats struct {
+	Retries      uint64 `json:"retries"`
+	Reconnects   uint64 `json:"reconnects"`
+	BreakerOpens uint64 `json:"breaker_opens"`
+	FastFails    uint64 `json:"breaker_fast_fails"`
+	Degraded     uint64 `json:"degraded"`
+	Hedges       uint64 `json:"hedged_requests"`
+}
+
+// Stats returns a snapshot of the client's fault-handling counters.
+func (nc *NetClient) Stats() Stats {
+	var s Stats
+	add := func(c *multiserver.Conn) {
+		cs := c.Stats()
+		s.Retries += cs.Retries
+		s.Reconnects += cs.Reconnects
+		s.FastFails += cs.FastFails
+		s.BreakerOpens += c.Breaker().Opens()
+	}
+	for _, rs := range nc.shards {
+		for _, c := range rs.conns {
+			add(c)
+		}
+	}
+	if nc.ad != nil {
+		add(nc.ad)
+	}
+	s.Degraded = nc.degraded.Load()
+	s.Hedges = nc.hedges.Load()
+	return s
+}
+
+// encodeShardIDs/decodeShardIDs delegate to the multiserver wire format.
+func encodeShardIDs(ids []uint64) []byte        { return multiserver.EncodeIDs(ids) }
+func decodeShardIDs(b []byte) ([]uint64, error) { return multiserver.DecodeIDs(b) }

@@ -2,6 +2,7 @@ package adindex
 
 import (
 	"adindex/internal/core"
+	"adindex/internal/multiserver"
 	"adindex/internal/shard"
 )
 
@@ -51,3 +52,33 @@ func (s *ShardedIndex) NumShards() int { return s.cluster.NumShards() }
 
 // NumAds returns the total indexed advertisements.
 func (s *ShardedIndex) NumAds() int { return s.cluster.NumAds() }
+
+// ServeShards exposes every shard as a TCP index server speaking the
+// multiserver frame protocol on an ephemeral loopback port, turning the
+// in-process cluster into the networked Section VII-B deployment that
+// shard.DialShards / shard.DialReplicaShards (and a remote-mode
+// internal/server front-end) can query. It returns the per-shard listen
+// addresses and a close function that stops all servers. To stand up a
+// replicated deployment, call ServeShards on several ShardedIndex
+// instances built from the same corpus and zip the address lists into
+// replica groups.
+func (s *ShardedIndex) ServeShards() ([]string, func(), error) {
+	var servers []*multiserver.Server
+	closeAll := func() {
+		for _, srv := range servers {
+			srv.Close()
+		}
+	}
+	addrs := make([]string, 0, s.cluster.NumShards())
+	for i := 0; i < s.cluster.NumShards(); i++ {
+		srv, err := multiserver.NewIndexServer("127.0.0.1:0", multiserver.ServeOpts{},
+			multiserver.CoreBackend{Index: s.cluster.Shard(i)})
+		if err != nil {
+			closeAll()
+			return nil, nil, err
+		}
+		servers = append(servers, srv)
+		addrs = append(addrs, srv.Addr())
+	}
+	return addrs, closeAll, nil
+}
