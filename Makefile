@@ -1,16 +1,17 @@
 # Development / CI entry points. `make check` is the gate every change
-# must pass: vet, build, the full test suite, and a race-detector pass
-# over the concurrency-heavy packages (the serving layer, the
-# multi-server harness, the fault-injection proxy, and the shard
-# failover client). The race pass runs -short so the heavyweight load
-# comparison stays affordable under the detector and the fault-injection
-# latency schedules stay under ~2s.
+# must pass: vet, build, the full test suite, a race-detector pass over
+# the concurrency-heavy packages (the root index with its lock-free
+# snapshot stress test, the serving layer, the multi-server harness, the
+# fault-injection proxy, and the shard failover client), and a
+# one-iteration benchmark smoke run. The race pass runs -short so the
+# heavyweight load comparison stays affordable under the detector and
+# the fault-injection latency schedules stay under ~2s.
 
 GO ?= go
 
-.PHONY: check vet build test race bench clean
+.PHONY: check vet build test race benchsmoke bench clean
 
-check: vet build test race
+check: vet build test race benchsmoke
 
 vet:
 	$(GO) vet ./...
@@ -22,12 +23,19 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race -short ./internal/server ./internal/multiserver \
+	$(GO) test -race -short . ./internal/server ./internal/multiserver \
 		./internal/faultnet ./internal/shard
 
-# Quick microbenchmarks for the index hot paths (not part of check).
-bench:
+# One iteration of every root benchmark: keeps them compiling and
+# running without timing anything.
+benchsmoke:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .
+
+# Reproducible before/after numbers for the snapshot read path; writes
+# BENCH_PR3.json, quoted in README "Performance".
+bench:
+	$(GO) run ./cmd/adbench -experiment perf -ads 20000 -queries 5000 \
+		-stream 50000 -out BENCH_PR3.json
 
 clean:
 	$(GO) clean ./...

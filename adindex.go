@@ -4,13 +4,13 @@ import (
 	"io"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"adindex/internal/core"
 	"adindex/internal/corpus"
 	"adindex/internal/costmodel"
 	"adindex/internal/optimize"
 	"adindex/internal/textnorm"
-	"adindex/internal/workload"
 )
 
 // Ad is one advertisement: a bid phrase plus advertiser metadata.
@@ -55,10 +55,20 @@ type Options struct {
 	// power-law head that Optimize cares about survives). Default
 	// DefaultMaxObservedQueries; negative disables the cap.
 	MaxObservedQueries int
+	// MaxDeltaAds bounds the mutation overlay kept on top of the immutable
+	// base snapshot. Inserts and deletes accumulate in a small
+	// linearly-scanned delta; when it reaches this size the overlay is
+	// folded into a fresh base (an O(corpus) rebuild amortized across that
+	// many mutations). Default DefaultMaxDeltaAds; negative folds on every
+	// mutation (no overlay, maximal per-mutation cost).
+	MaxDeltaAds int
 }
 
 // DefaultMaxObservedQueries is the default Options.MaxObservedQueries.
 const DefaultMaxObservedQueries = 1_000_000
+
+// DefaultMaxDeltaAds is the default Options.MaxDeltaAds.
+const DefaultMaxDeltaAds = 256
 
 func (o Options) maxObserved() int {
 	if o.MaxObservedQueries == 0 {
@@ -68,6 +78,16 @@ func (o Options) maxObserved() int {
 		return int(^uint(0) >> 1)
 	}
 	return o.MaxObservedQueries
+}
+
+func (o Options) maxDeltaAds() int {
+	if o.MaxDeltaAds == 0 {
+		return DefaultMaxDeltaAds
+	}
+	if o.MaxDeltaAds < 0 {
+		return 0
+	}
+	return o.MaxDeltaAds
 }
 
 func (o Options) coreOptions() core.Options {
@@ -81,22 +101,33 @@ func (o Options) model() costmodel.Model {
 	return o.CostModel
 }
 
-// Index is a thread-safe broad-match advertisement index. Reads may
-// proceed concurrently; mutations (Insert, Delete, Optimize) take an
-// exclusive lock.
+// Index is a thread-safe broad-match advertisement index.
+//
+// Reads are lock-free: every query loads the current immutable snapshot
+// with a single atomic pointer load and never contends with mutators or
+// other readers. Mutators (Insert, Delete, Optimize, ApplyMapping)
+// serialize among themselves on a writer-only mutex and publish a new
+// snapshot RCU-style; retired snapshots are reclaimed by the garbage
+// collector once the last in-flight read drops them, which stands in for
+// an explicit grace period.
 type Index struct {
 	opts Options
 
-	mu   sync.RWMutex
-	core *core.Index
-	// observed accumulates the query stream for workload adaptation.
-	observed map[string]*workload.Query
-	// mutations counts Insert/Delete/Optimize/ApplyMapping operations. It
-	// doubles as the index epoch: external result caches key their entries
-	// by it so a mutation implicitly invalidates every cached result, and
-	// Optimize uses it to detect concurrent churn while computing outside
-	// the lock.
-	mutations uint64
+	// snap is the published snapshot. Readers Load it exactly once per
+	// query; mutators Store a fresh snapshot while holding mu.
+	snap atomic.Pointer[snapshot]
+	// mu serializes mutators. Readers never acquire it.
+	mu sync.Mutex
+	// observed samples the query stream for workload adaptation, sharded
+	// so recording never blocks queries (or other recorders).
+	observed *observeSampler
+
+	// optimizeRebuildHook, when set, is invoked (without ix.mu held)
+	// immediately before each Optimize rebuild attempt — after the fold
+	// and cost computation, before the out-of-lock rebuild. Tests use it
+	// to inject churn into the rebuild window. Set it before the index is
+	// shared across goroutines.
+	optimizeRebuildHook func(attempt int)
 }
 
 // Epoch returns the index mutation epoch: a counter bumped by every
@@ -104,136 +135,118 @@ type Index struct {
 // the index (see internal/server) tag entries with the epoch at which they
 // were computed and treat any entry from an older epoch as stale, so a
 // mutation invalidates all cached results without any cache traversal.
+//
+// Epoch is a single atomic load. For an epoch guaranteed consistent with
+// subsequent query results, use View, which pins epoch and results to the
+// same snapshot.
 func (ix *Index) Epoch() uint64 {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	return ix.mutations
+	return ix.snap.Load().epoch
 }
 
 // New returns an empty index.
 func New(opts Options) *Index {
-	return &Index{
-		opts:     opts,
-		core:     core.New(nil, opts.coreOptions()),
-		observed: make(map[string]*workload.Query),
-	}
+	return Build(nil, opts)
 }
 
 // Build constructs an index over ads with the default placement (each
 // distinct word set at its own data node; over-long phrases re-mapped).
 func Build(ads []Ad, opts Options) *Index {
-	return &Index{
+	ix := &Index{
 		opts:     opts,
-		core:     core.New(ads, opts.coreOptions()),
-		observed: make(map[string]*workload.Query),
+		observed: newObserveSampler(opts.maxObserved()),
 	}
+	ix.snap.Store(&snapshot{base: core.New(ads, opts.coreOptions())})
+	return ix
 }
 
-// Insert adds an advertisement. The ad is placed by a fast local
-// heuristic; call Optimize periodically to restore a globally good layout.
+// publish installs s as the current snapshot. Callers must hold ix.mu.
+func (ix *Index) publish(s *snapshot) { ix.snap.Store(s) }
+
+// Insert adds an advertisement. The ad lands in the snapshot's delta
+// overlay (an atomic republish; no index rebuild) until the overlay
+// reaches Options.MaxDeltaAds and is folded into a fresh base. Placement
+// uses a fast local heuristic; call Optimize periodically to restore a
+// globally good layout.
 func (ix *Index) Insert(ad Ad) {
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
-	ix.mutations++
-	ix.core.Insert(ad)
+	s := ix.snap.Load()
+	if s.overlaySize() >= ix.opts.maxDeltaAds() {
+		base := s.fold(ix.opts.coreOptions())
+		base.Insert(ad)
+		ix.publish(&snapshot{base: base, epoch: s.epoch + 1})
+		return
+	}
+	// Appending in place is safe: published snapshots hold delta slice
+	// headers with the old length, so they never observe the new element,
+	// and readers of the new snapshot synchronize through the atomic
+	// pointer store below.
+	ix.publish(&snapshot{
+		base:    s.base,
+		delta:   append(s.delta, ad),
+		tombs:   s.tombs,
+		deleted: s.deleted,
+		epoch:   s.epoch + 1,
+	})
 }
 
 // Delete removes the ad with the given ID and bid phrase, reporting
-// whether it was found.
+// whether it was found. Deletions against the immutable base become
+// tombstones in the overlay; delta ads are removed directly.
 func (ix *Index) Delete(id uint64, phrase string) bool {
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
-	ix.mutations++
-	return ix.core.Delete(id, phrase)
-}
-
-// BroadMatch returns copies of all ads whose bid phrases broad-match the
-// query (every bid word occurs in the query), ordered by ID.
-func (ix *Index) BroadMatch(query string) []Ad {
-	return ix.BroadMatchCounted(query, nil)
-}
-
-// BroadMatchCounted is BroadMatch with memory-access accounting.
-func (ix *Index) BroadMatchCounted(query string, counters *Counters) []Ad {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	return copyMatches(ix.core.BroadMatchText(query, counters))
-}
-
-// ExactMatch returns ads whose bid phrase equals the query as a normalized
-// token sequence.
-func (ix *Index) ExactMatch(query string) []Ad {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	return copyMatches(ix.core.ExactMatch(query, nil))
-}
-
-// PhraseMatch returns ads whose bid phrase occurs in the query as a
-// contiguous, ordered token subsequence.
-func (ix *Index) PhraseMatch(query string) []Ad {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	return copyMatches(ix.core.PhraseMatch(query, nil))
-}
-
-func copyMatches(matches []*corpus.Ad) []Ad {
-	if len(matches) == 0 {
-		return nil
+	s := ix.snap.Load()
+	key := textnorm.SetKey(textnorm.WordSet(phrase))
+	for i := len(s.delta) - 1; i >= 0; i-- {
+		if s.delta[i].ID == id && s.delta[i].SetKey() == key {
+			nd := make([]corpus.Ad, 0, len(s.delta)-1)
+			nd = append(nd, s.delta[:i]...)
+			nd = append(nd, s.delta[i+1:]...)
+			ix.publish(&snapshot{
+				base: s.base, delta: nd, tombs: s.tombs,
+				deleted: s.deleted, epoch: s.epoch + 1,
+			})
+			return true
+		}
 	}
-	out := make([]Ad, len(matches))
-	for i, m := range matches {
-		out[i] = *m
+	k := tombKey{id: id, key: key}
+	if s.base.Lookup(id, phrase) > s.tombs[k] {
+		nt := make(map[tombKey]int, len(s.tombs)+1)
+		for tk, n := range s.tombs {
+			nt[tk] = n
+		}
+		nt[k]++
+		ix.publish(&snapshot{
+			base: s.base, delta: s.delta, tombs: nt,
+			deleted: s.deleted + 1, epoch: s.epoch + 1,
+		})
+		if len(nt) >= ix.opts.maxDeltaAds() {
+			// Fold eagerly so tombstone filtering stays cheap.
+			cur := ix.snap.Load()
+			ix.publish(&snapshot{base: cur.fold(ix.opts.coreOptions()), epoch: cur.epoch})
+		}
+		return true
 	}
-	return out
+	// Not found. The epoch still advances (matching the historical
+	// contract that every mutation attempt invalidates caches).
+	ix.publish(&snapshot{
+		base: s.base, delta: s.delta, tombs: s.tombs,
+		deleted: s.deleted, epoch: s.epoch + 1,
+	})
+	return false
 }
 
 // Observe records one occurrence of query in the workload sample used by
-// Optimize. Call it on (a sample of) live traffic.
+// Optimize. Call it on (a sample of) live traffic. Recording goes through
+// a sharded sampler and never blocks queries.
 func (ix *Index) Observe(query string) {
-	words := textnorm.WordSet(query)
-	if len(words) == 0 {
-		return
-	}
-	key := textnorm.SetKey(words)
-	ix.mu.Lock()
-	defer ix.mu.Unlock()
-	if q, ok := ix.observed[key]; ok {
-		q.Freq++
-		return
-	}
-	if len(ix.observed) >= ix.opts.maxObserved() {
-		ix.evictObservedLocked()
-	}
-	ix.observed[key] = &workload.Query{Words: words, Freq: 1}
-}
-
-// evictObservedLocked removes the lowest-frequency entry among a small
-// random sample of the observed map (Go map iteration order is randomized,
-// so iterating a few entries is a cheap approximate-LFU sample). Holding
-// only a sample keeps eviction O(1) regardless of the cap.
-func (ix *Index) evictObservedLocked() {
-	const sample = 8
-	victim := ""
-	victimFreq := 0
-	n := 0
-	for key, q := range ix.observed {
-		if victim == "" || q.Freq < victimFreq {
-			victim, victimFreq = key, q.Freq
-		}
-		if n++; n >= sample {
-			break
-		}
-	}
-	if victim != "" {
-		delete(ix.observed, victim)
-	}
+	ix.observed.Observe(query)
 }
 
 // ObservedQueries returns the number of distinct observed queries.
 func (ix *Index) ObservedQueries() int {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	return len(ix.observed)
+	return ix.observed.Distinct()
 }
 
 // OptimizeReport describes the outcome of a re-optimization.
@@ -246,61 +259,103 @@ type OptimizeReport struct {
 	ModeledCostBefore, ModeledCostAfter float64
 	// DistinctQueries is the size of the workload sample used.
 	DistinctQueries int
+	// Applied reports whether the optimized layout was installed. It is
+	// false only when concurrent churn outpaced every rebuild attempt and
+	// the index kept its previous placement.
+	Applied bool
+	// Stale reports that the corpus changed while optimizing, so the
+	// modeled costs and node counts above describe the pre-churn corpus
+	// rather than the exact layout installed.
+	Stale bool
+	// Attempts is the number of rebuild attempts performed (> 1 means
+	// concurrent mutations forced at least one retry).
+	Attempts int
 }
+
+// maxOptimizeAttempts bounds how often Optimize retries the out-of-lock
+// rebuild when concurrent mutations fold the base out from under it.
+const maxOptimizeAttempts = 3
 
 // Optimize recomputes the ad-to-node mapping against the observed workload
 // (greedy weighted set cover under the cost model) and rebuilds the index
 // under it. Query results are unaffected; only the physical layout
 // changes. With no observed workload the default placement is kept.
 //
-// The optimization and rebuild run outside the write lock, so reads and
-// writes proceed concurrently; the new index is swapped in atomically. If
-// the corpus was mutated while optimizing, the index is rebuilt from the
-// current ads under the computed mapping (newly inserted word sets fall
-// back to default placement until the next Optimize).
+// All heavy work (set cover, rebuild) runs outside the writer lock, and
+// queries are lock-free throughout, so matching proceeds at full speed for
+// the entire optimization. Concurrent Insert/Delete churn lands in the
+// overlay and is carried across the swap unchanged; only a concurrent
+// overlay fold (≥ MaxDeltaAds mutations during the rebuild) forces a
+// retry. After maxOptimizeAttempts such races Optimize gives up, keeps the
+// current placement, and reports Applied=false.
 func (ix *Index) Optimize() (OptimizeReport, error) {
-	ix.mu.RLock()
-	wl := &workload.Workload{}
-	for _, q := range ix.observed {
-		wl.Queries = append(wl.Queries, *q)
-	}
-	ads := ix.core.Ads()
-	nodesBefore := ix.core.NumNodes()
-	epoch := ix.mutations
-	ix.mu.RUnlock()
+	wl := ix.observed.Workload()
+	report := OptimizeReport{DistinctQueries: len(wl.Queries)}
 
-	// Heavy work without any lock held.
-	gs := optimize.BuildGroups(ads, wl)
-	opts := optimize.Options{MaxWords: ix.opts.coreOptions().MaxWords, Model: ix.opts.model()}
-	before := optimize.IdentityMapping(gs, opts)
-	res := optimize.Optimize(gs, opts)
-	rebuilt, err := core.NewWithMapping(ads, res.Mapping, ix.opts.coreOptions())
-	if err != nil {
-		return OptimizeReport{}, err
-	}
+	var (
+		res        *optimize.Result
+		startEpoch uint64
+	)
+	for attempt := 1; attempt <= maxOptimizeAttempts; attempt++ {
+		// Fold pending overlay so the rebuild input is the full corpus.
+		// The fold itself is an equivalent-results layout change, so it is
+		// republished under the same epoch.
+		ix.mu.Lock()
+		s := ix.snap.Load()
+		if s.overlaySize() > 0 {
+			s = &snapshot{base: s.fold(ix.opts.coreOptions()), epoch: s.epoch}
+			ix.publish(s)
+		}
+		ix.mu.Unlock()
 
-	ix.mu.Lock()
-	defer ix.mu.Unlock()
-	if ix.mutations != epoch {
-		// The corpus changed while we were optimizing: rebuild from the
-		// live ads so no concurrent insert/delete is lost. Sets unknown
-		// to the mapping get default placement.
-		rebuilt, err = core.NewWithMapping(ix.core.Ads(), res.Mapping, ix.opts.coreOptions())
+		ads := s.base.Ads()
+		if attempt == 1 {
+			startEpoch = s.epoch
+			report.NodesBefore = s.base.NumNodes()
+			gs := optimize.BuildGroups(ads, wl)
+			opts := optimize.Options{MaxWords: ix.opts.coreOptions().MaxWords, Model: ix.opts.model()}
+			before := optimize.IdentityMapping(gs, opts)
+			res = optimize.Optimize(gs, opts)
+			report.ModeledCostBefore = before.ModeledCost
+			report.ModeledCostAfter = res.ModeledCost
+		}
+		if hook := ix.optimizeRebuildHook; hook != nil {
+			hook(attempt)
+		}
+		// On retries the mapping computed on attempt 1 is reused against
+		// the live corpus: word sets inserted since then are unknown to it
+		// and fall back to default placement until the next Optimize.
+		rebuilt, err := core.NewWithMapping(ads, res.Mapping, ix.opts.coreOptions())
 		if err != nil {
 			return OptimizeReport{}, err
 		}
+
+		ix.mu.Lock()
+		cur := ix.snap.Load()
+		if cur.base == s.base {
+			// The base we rebuilt from is still current; any concurrent
+			// churn sits in the overlay and applies verbatim on top of the
+			// new layout (tombstones and delta are layout-independent).
+			ix.publish(&snapshot{
+				base: rebuilt, delta: cur.delta, tombs: cur.tombs,
+				deleted: cur.deleted, epoch: cur.epoch + 1,
+			})
+			ix.mu.Unlock()
+			report.NodesAfter = rebuilt.NumNodes()
+			report.Applied = true
+			report.Attempts = attempt
+			report.Stale = attempt > 1 || cur.epoch != startEpoch
+			return report, nil
+		}
+		ix.mu.Unlock()
 	}
-	report := OptimizeReport{
-		NodesBefore:       nodesBefore,
-		NodesAfter:        rebuilt.NumNodes(),
-		ModeledCostBefore: before.ModeledCost,
-		ModeledCostAfter:  res.ModeledCost,
-		DistinctQueries:   len(wl.Queries),
-	}
-	// Layout swaps preserve query results, but bumping the epoch anyway
-	// keeps the invalidation contract trivially conservative for caches.
-	ix.mutations++
-	ix.core = rebuilt
+	// Give up: churn folded the base on every attempt. Keep the current
+	// (stale) placement rather than stall mutators indefinitely.
+	cur := ix.snap.Load()
+	report.NodesAfter = cur.base.NumNodes()
+	report.Applied = false
+	report.Attempts = maxOptimizeAttempts
+	report.Stale = true
 	return report, nil
 }
 
@@ -309,12 +364,7 @@ func (ix *Index) Optimize() (OptimizeReport, error) {
 // Section VI of the paper recommends running re-optimization periodically
 // on a separate machine; this is the hand-off.
 func (ix *Index) ExportWorkload(w io.Writer) error {
-	ix.mu.RLock()
-	wl := &workload.Workload{}
-	for _, q := range ix.observed {
-		wl.Queries = append(wl.Queries, *q)
-	}
-	ix.mu.RUnlock()
+	wl := ix.observed.Workload()
 	sort.Slice(wl.Queries, func(i, j int) bool {
 		if wl.Queries[i].Freq != wl.Queries[j].Freq {
 			return wl.Queries[i].Freq > wl.Queries[j].Freq
@@ -328,6 +378,7 @@ func (ix *Index) ExportWorkload(w io.Writer) error {
 // cmd/adopt and ExportWorkload). Query results are unaffected. The mapping
 // must satisfy the validity conditions (each locator a subset of its word
 // set, at most MaxWords long); entries for unknown word sets are ignored.
+// Queries stay lock-free during the rebuild; concurrent mutators block.
 func (ix *Index) ApplyMapping(r io.Reader) error {
 	mapping, err := optimize.ReadMapping(r)
 	if err != nil {
@@ -335,12 +386,12 @@ func (ix *Index) ApplyMapping(r io.Reader) error {
 	}
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
-	rebuilt, err := core.NewWithMapping(ix.core.Ads(), mapping, ix.opts.coreOptions())
+	s := ix.snap.Load()
+	rebuilt, err := core.NewWithMapping(s.materialize(), mapping, ix.opts.coreOptions())
 	if err != nil {
 		return err
 	}
-	ix.mutations++
-	ix.core = rebuilt
+	ix.publish(&snapshot{base: rebuilt, epoch: s.epoch + 1})
 	return nil
 }
 
@@ -354,11 +405,11 @@ type Stats struct {
 	AvgNodeAds   float64
 }
 
-// Stats returns structure statistics.
+// Stats returns structure statistics. A pending mutation overlay is folded
+// into the base first (the fold changes layout, never results), so the
+// numbers always describe the full live corpus.
 func (ix *Index) Stats() Stats {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	s := ix.core.Stats()
+	s := ix.foldedBase().Stats()
 	return Stats{
 		NumAds:       s.NumAds,
 		NumNodes:     s.NumNodes,
@@ -369,9 +420,33 @@ func (ix *Index) Stats() Stats {
 	}
 }
 
-// Ads returns a copy of all indexed advertisements ordered by ID.
+// NumAds returns the number of indexed advertisements, overlay included.
+func (ix *Index) NumAds() int {
+	s := ix.snap.Load()
+	return s.base.NumAds() - s.deleted + len(s.delta)
+}
+
+// Ads returns a copy of all indexed advertisements ordered by ID. The
+// copies do not alias index storage.
 func (ix *Index) Ads() []Ad {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	return ix.core.Ads()
+	ads := ix.snap.Load().materialize()
+	deepCopyAdStrings(ads)
+	return ads
+}
+
+// foldedBase folds any pending overlay and returns the resulting pure
+// base. Queries remain lock-free while it runs.
+func (ix *Index) foldedBase() *core.Index {
+	s := ix.snap.Load()
+	if s.overlaySize() == 0 {
+		return s.base
+	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	s = ix.snap.Load()
+	if s.overlaySize() > 0 {
+		s = &snapshot{base: s.fold(ix.opts.coreOptions()), epoch: s.epoch}
+		ix.publish(s)
+	}
+	return s.base
 }

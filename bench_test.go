@@ -39,8 +39,7 @@ var (
 	bMod      *invindex.Modified
 )
 
-func benchSetup(b *testing.B) {
-	b.Helper()
+func initBenchFixtures() {
 	benchOnce.Do(func() {
 		bCorpus = corpus.Generate(corpus.GenOptions{NumAds: benchAds, Seed: 1})
 		bWorkload = workload.Generate(bCorpus, workload.GenOptions{NumQueries: benchQueries, Seed: 2})
@@ -49,6 +48,11 @@ func benchSetup(b *testing.B) {
 		bUnmod = invindex.NewUnmodified(bCorpus.Ads)
 		bMod = invindex.NewModified(bCorpus.Ads)
 	})
+}
+
+func benchSetup(b *testing.B) {
+	b.Helper()
+	initBenchFixtures()
 }
 
 func streamQuery(i int) []string { return bStream[i%len(bStream)].Words }
@@ -386,17 +390,77 @@ func joinWords(ws []string) string {
 	return out
 }
 
+// --- PR 3: the public snapshot read path ---
+
+var (
+	pr3Once    sync.Once
+	pr3Index   *Index
+	pr3Queries []string
+)
+
+func pr3Setup(b *testing.B) {
+	b.Helper()
+	initBenchFixtures()
+	pr3Once.Do(func() {
+		pr3Index = Build(bCorpus.Ads, Options{})
+		pr3Queries = make([]string, len(bStream))
+		for i, q := range bStream {
+			pr3Queries[i] = joinWords(q.Words)
+		}
+	})
+}
+
+func BenchmarkPublicBroadMatch(b *testing.B) {
+	pr3Setup(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pr3Index.BroadMatch(pr3Queries[i%len(pr3Queries)])
+	}
+}
+
+// BenchmarkPublicBroadMatchAppendReuse is the zero-garbage serving loop: a
+// caller-owned result buffer reused across queries.
+func BenchmarkPublicBroadMatchAppendReuse(b *testing.B) {
+	pr3Setup(b)
+	var dst []Ad
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = pr3Index.BroadMatchAppend(dst[:0], pr3Queries[i%len(pr3Queries)])
+	}
+}
+
+// BenchmarkPublicBroadMatchParallel exercises reader-side scaling: with
+// snapshot reads there is no lock to contend on.
+func BenchmarkPublicBroadMatchParallel(b *testing.B) {
+	pr3Setup(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		var dst []Ad
+		i := 0
+		for pb.Next() {
+			dst = pr3Index.BroadMatchAppend(dst[:0], pr3Queries[i%len(pr3Queries)])
+			i++
+		}
+	})
+}
+
+func BenchmarkPublicBroadMatchBatch32(b *testing.B) {
+	pr3Setup(b)
+	batch := pr3Queries[:32]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pr3Index.BroadMatchBatch(batch)
+	}
+}
+
 // Guard against accidental fixture skew: the three structures must agree
 // on the bench stream (executed once under -bench via a cheap test).
 func TestBenchFixturesAgree(t *testing.T) {
-	benchOnce.Do(func() {
-		bCorpus = corpus.Generate(corpus.GenOptions{NumAds: benchAds, Seed: 1})
-		bWorkload = workload.Generate(bCorpus, workload.GenOptions{NumQueries: benchQueries, Seed: 2})
-		bStream = bWorkload.Stream(benchStream, 3)
-		bCore = core.New(bCorpus.Ads, core.Options{})
-		bUnmod = invindex.NewUnmodified(bCorpus.Ads)
-		bMod = invindex.NewModified(bCorpus.Ads)
-	})
+	initBenchFixtures()
 	for i := 0; i < 200; i++ {
 		q := streamQuery(i * 37)
 		a := len(bCore.BroadMatch(q, nil))

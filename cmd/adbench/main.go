@@ -21,6 +21,7 @@
 //	counters  §VII-C simulated hardware counters
 //	compress  §VI compressed lookup structure sizes
 //	ablation  design-choice sweeps (max_words, withdrawal, front coding)
+//	perf      locked baseline vs snapshot read path (writes BENCH_PR3.json)
 package main
 
 import (
@@ -69,9 +70,11 @@ func main() {
 		"compress":    runCompress,
 		"ablation":    runAblation,
 		"maintenance": runMaintenance,
+		"perf":        runPerf,
 	}
 	order := []string{"fig1", "fig2", "fig3", "fig7", "tput", "keysize",
-		"fig8", "fig9", "fig10", "counters", "compress", "ablation", "maintenance"}
+		"fig8", "fig9", "fig10", "counters", "compress", "ablation",
+		"maintenance", "perf"}
 
 	switch {
 	case *experiment == "all":

@@ -1,0 +1,235 @@
+package main
+
+// perf: before/after comparison for the lock-free snapshot read path.
+//
+// The "before" variant reproduces the pre-snapshot design faithfully: an
+// RWMutex around the core index, per-query tokenization and enumeration
+// scratch allocations, and a fresh result copy per call. The "after"
+// variants are the shipped public API (pooled scratch, atomic snapshot
+// load, arena result copies). Both run in the same process on the same
+// corpus and query stream, so the comparison isolates the read-path
+// design. Results are printed as a table and written as JSON (default
+// BENCH_PR3.json, see -out) for README/DESIGN to quote.
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"adindex"
+	"adindex/internal/core"
+	"adindex/internal/corpus"
+	"adindex/internal/textnorm"
+)
+
+var perfOut = flag.String("out", "BENCH_PR3.json", "JSON output path for the perf experiment")
+
+// lockedIndex is the historical read path: exclusive-with-readers locking
+// plus allocate-per-query matching. Kept here (not in the library) purely
+// as the benchmark baseline.
+type lockedIndex struct {
+	mu   sync.RWMutex
+	core *core.Index
+}
+
+func (l *lockedIndex) BroadMatch(query string) []adindex.Ad {
+	words := textnorm.WordSet(query)
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	m := l.core.BroadMatch(words, nil)
+	if len(m) == 0 {
+		return nil
+	}
+	out := make([]adindex.Ad, len(m))
+	for i, ad := range m {
+		out[i] = *ad
+	}
+	return out
+}
+
+func (l *lockedIndex) Insert(ad corpus.Ad) {
+	l.mu.Lock()
+	l.core.Insert(ad)
+	l.mu.Unlock()
+}
+
+func (l *lockedIndex) Delete(id uint64, phrase string) bool {
+	l.mu.Lock()
+	ok := l.core.Delete(id, phrase)
+	l.mu.Unlock()
+	return ok
+}
+
+type perfVariant struct {
+	Name        string  `json:"name"`
+	SerialQPS   float64 `json:"serial_qps"`
+	P50US       float64 `json:"p50_us"`
+	P99US       float64 `json:"p99_us"`
+	ParallelQPS float64 `json:"parallel_qps"`
+	ChurnQPS    float64 `json:"parallel_churn_qps"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+type perfReport struct {
+	Ads               int         `json:"ads"`
+	Queries           int         `json:"distinct_queries"`
+	Stream            int         `json:"stream_length"`
+	GOMAXPROCS        int         `json:"gomaxprocs"`
+	Before            perfVariant `json:"before"`
+	After             perfVariant `json:"after"`
+	AfterAppend       perfVariant `json:"after_append"`
+	AllocReductionPct float64     `json:"alloc_reduction_pct"`
+	SerialSpeedup     float64     `json:"serial_speedup"`
+	ParallelSpeedup   float64     `json:"parallel_speedup"`
+}
+
+// perfMutator churns ID/phrase pairs disjoint from the corpus while the
+// parallel-churn measurement runs.
+type perfMutator interface {
+	Insert(ad corpus.Ad)
+	Delete(id uint64, phrase string) bool
+}
+
+func runPerf(cfg config) {
+	header("perf: locked baseline vs snapshot read path (BENCH_PR3)")
+	c := mkCorpus(cfg.ads, cfg.seed)
+	wl := mkWorkload(c, cfg.queries, cfg.seed+1)
+	stream := wl.Stream(cfg.stream, cfg.seed+2)
+	queries := make([]string, len(stream))
+	for i, q := range stream {
+		queries[i] = strings.Join(q.Words, " ")
+	}
+
+	locked := &lockedIndex{core: core.New(c.Ads, core.Options{})}
+	snap := adindex.Build(c.Ads, adindex.Options{})
+
+	before := measurePerf("locked-rwmutex", queries, func() func(string) {
+		return func(q string) { locked.BroadMatch(q) }
+	}, locked)
+	after := measurePerf("snapshot", queries, func() func(string) {
+		return func(q string) { snap.BroadMatch(q) }
+	}, snap)
+	afterAppend := measurePerf("snapshot-append", queries, func() func(string) {
+		var dst []adindex.Ad
+		return func(q string) { dst = snap.BroadMatchAppend(dst[:0], q) }
+	}, snap)
+
+	rep := perfReport{
+		Ads:         cfg.ads,
+		Queries:     cfg.queries,
+		Stream:      len(queries),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Before:      before,
+		After:       after,
+		AfterAppend: afterAppend,
+	}
+	if before.AllocsPerOp > 0 {
+		rep.AllocReductionPct = 100 * (before.AllocsPerOp - after.AllocsPerOp) / before.AllocsPerOp
+	}
+	if after.SerialQPS > 0 {
+		rep.SerialSpeedup = after.SerialQPS / before.SerialQPS
+	}
+	if after.ParallelQPS > 0 {
+		rep.ParallelSpeedup = after.ParallelQPS / before.ParallelQPS
+	}
+
+	fmt.Printf("%-18s %12s %9s %9s %12s %12s %10s\n",
+		"variant", "serial qps", "p50 us", "p99 us", "par qps", "churn qps", "allocs/op")
+	for _, v := range []perfVariant{before, after, afterAppend} {
+		fmt.Printf("%-18s %12.0f %9.2f %9.2f %12.0f %12.0f %10.1f\n",
+			v.Name, v.SerialQPS, v.P50US, v.P99US, v.ParallelQPS, v.ChurnQPS, v.AllocsPerOp)
+	}
+	fmt.Printf("alloc reduction: %.1f%%  serial speedup: %.2fx  parallel speedup: %.2fx\n",
+		rep.AllocReductionPct, rep.SerialSpeedup, rep.ParallelSpeedup)
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	must(err)
+	must(os.WriteFile(*perfOut, append(buf, '\n'), 0o644))
+	fmt.Printf("wrote %s\n", *perfOut)
+}
+
+// measurePerf times one read-path variant. makeCall returns a fresh,
+// independently buffered query closure; parallel measurements give each
+// worker its own so buffer-reusing variants stay race-free.
+func measurePerf(name string, queries []string, makeCall func() func(string), mut perfMutator) perfVariant {
+	call := makeCall()
+	v := perfVariant{Name: name}
+
+	// Serial pass: per-query latency for percentiles, total for QPS.
+	lat := make([]time.Duration, len(queries))
+	start := time.Now()
+	for i, q := range queries {
+		t0 := time.Now()
+		call(q)
+		lat[i] = time.Since(t0)
+	}
+	total := time.Since(start)
+	v.SerialQPS = float64(len(queries)) / total.Seconds()
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	v.P50US = float64(lat[len(lat)/2].Nanoseconds()) / 1e3
+	v.P99US = float64(lat[len(lat)*99/100].Nanoseconds()) / 1e3
+
+	v.ParallelQPS = parallelQPS(queries, makeCall, nil)
+	v.ChurnQPS = parallelQPS(queries, makeCall, mut)
+
+	i := 0
+	v.AllocsPerOp = testing.AllocsPerRun(2000, func() {
+		call(queries[i%len(queries)])
+		i++
+	})
+	return v
+}
+
+// parallelQPS drives the full stream across GOMAXPROCS workers; when mut
+// is non-nil a mutator goroutine churns inserts and deletes throughout.
+func parallelQPS(queries []string, makeCall func() func(string), mut perfMutator) float64 {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > 1 {
+		workers-- // leave a core for the mutator / runtime
+	}
+	var stop atomic.Bool
+	var wgMut sync.WaitGroup
+	if mut != nil {
+		wgMut.Add(1)
+		go func() {
+			defer wgMut.Done()
+			// A steady ~8k mutations/s, a heavy but realistic update rate;
+			// an unthrottled loop would measure mutator saturation, not
+			// reader throughput under churn.
+			tick := time.NewTicker(250 * time.Microsecond)
+			defer tick.Stop()
+			for i := uint64(0); !stop.Load(); i++ {
+				phrase := fmt.Sprintf("perf churn phrase %d", i%64)
+				mut.Insert(corpus.NewAd(5_000_000+i%64, phrase, corpus.Meta{}))
+				mut.Delete(5_000_000+i%64, phrase)
+				<-tick.C
+			}
+		}()
+	}
+	per := len(queries) / workers
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(part []string) {
+			defer wg.Done()
+			call := makeCall()
+			for _, q := range part {
+				call(q)
+			}
+		}(queries[w*per : (w+1)*per])
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	stop.Store(true)
+	wgMut.Wait()
+	return float64(per*workers) / elapsed.Seconds()
+}

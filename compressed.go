@@ -36,11 +36,12 @@ type CompressedSizes struct {
 // and layout. suffixBits selects the signature width; 0 picks it
 // automatically from the space/latency trade-off model.
 func (ix *Index) Snapshot(suffixBits int) (*CompressedIndex, error) {
-	ix.mu.RLock()
-	ads := ix.core.Ads()
-	mapping := ix.core.Mapping()
+	// Fold any pending mutation overlay so the base's mapping covers the
+	// full corpus handed to the compressed builder.
+	base := ix.foldedBase()
+	ads := base.Ads()
+	mapping := base.Mapping()
 	opts := ix.opts.coreOptions()
-	ix.mu.RUnlock()
 	inner, err := hashindex.Build(ads, mapping, hashindex.Options{
 		SuffixBits:    suffixBits,
 		MaxWords:      opts.MaxWords,

@@ -248,6 +248,35 @@ func (ix *Index) Delete(id uint64, phrase string) bool {
 	return true
 }
 
+// Lookup returns the number of indexed records with the given ID and
+// phrase (duplicate inserts each add a record). It resolves the record's
+// node exactly as Delete does but performs no mutation, which lets an
+// overlay layer translate a deletion against an immutable base into a
+// tombstone with an exact suppressed-record count.
+func (ix *Index) Lookup(id uint64, phrase string) int {
+	words := textnorm.WordSet(phrase)
+	key := setKey(words)
+	locKey, ok := ix.locOf[key]
+	if !ok {
+		return 0
+	}
+	n := ix.table[WordHash(ix.locWords[locKey])]
+	if n == nil {
+		return 0
+	}
+	count := 0
+	for i := range n.records {
+		rec := &n.records[i]
+		if len(rec.Words) > len(words) {
+			break
+		}
+		if rec.ID == id && rec.SetKey() == key {
+			count++
+		}
+	}
+	return count
+}
+
 // Mapping returns a copy of the current mapping from word-set keys to
 // locator word sets (M in the paper), for inspection and re-optimization.
 func (ix *Index) Mapping() map[string][]string {

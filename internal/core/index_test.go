@@ -567,7 +567,7 @@ func TestContainsContiguous(t *testing.T) {
 		{"x a b", "a b", true},
 	}
 	for _, c := range cases {
-		got := containsContiguous(textnorm.Tokenize(c.hay), textnorm.Tokenize(c.needle))
+		got := textnorm.ContainsContiguous(textnorm.Tokenize(c.hay), textnorm.Tokenize(c.needle))
 		if got != c.want {
 			t.Errorf("containsContiguous(%q, %q) = %v", c.hay, c.needle, got)
 		}

@@ -20,6 +20,26 @@ func byID(a, b *corpus.Ad) int {
 	return 0
 }
 
+// Scratch holds the reusable per-query buffers of the allocation-free
+// query path: the prepared query and the visited-node list. A Scratch is
+// not safe for concurrent use; callers that care about allocations keep
+// one per worker (the adindex package pools them) and pass the same
+// instance to successive queries. The zero value is ready to use.
+type Scratch struct {
+	q       []string
+	visited []*node
+}
+
+// Reset drops the scratch's references into index internals while keeping
+// buffer capacity, so a pooled Scratch never pins nodes of a retired index
+// generation.
+func (sc *Scratch) Reset() {
+	sc.q = sc.q[:0]
+	v := sc.visited[:cap(sc.visited)]
+	clear(v)
+	sc.visited = sc.visited[:0]
+}
+
 // BroadMatch returns every indexed ad whose word set is a subset of the
 // query's word set (Section III-A semantics). queryWords must be canonical
 // (use textnorm.WordSet on raw text). Results are ordered by ad ID. The
@@ -29,23 +49,38 @@ func byID(a, b *corpus.Ad) int {
 // counters, when non-nil, accumulates the memory-access accounting of this
 // query under the Section IV-A cost model.
 func (ix *Index) BroadMatch(queryWords []string, counters *costmodel.Counters) []*corpus.Ad {
-	q := ix.prepareQuery(queryWords)
+	return ix.AppendBroadMatch(nil, queryWords, counters, nil)
+}
+
+// AppendBroadMatch is BroadMatch appending into dst, reusing sc's buffers;
+// both dst and sc may be nil. The appended segment is ordered by ad ID.
+// With a warmed Scratch and a reused dst the whole query path performs no
+// allocations.
+func (ix *Index) AppendBroadMatch(dst []*corpus.Ad, queryWords []string, counters *costmodel.Counters, sc *Scratch) []*corpus.Ad {
+	var local Scratch
+	if sc == nil {
+		sc = &local
+	}
+	q := ix.prepareQueryInto(sc.q[:0], queryWords)
+	sc.q = q
 	if len(q) == 0 {
 		if counters != nil {
 			counters.Queries++
 		}
-		return nil
+		return dst
 	}
-	var matches []*corpus.Ad
-	ix.forEachCandidateNode(q, counters, func(n *node) {
-		matches = ix.scanNode(n, q, counters, matches)
-	})
-	slices.SortFunc(matches, byID)
+	visited := ix.appendCandidateNodes(q, counters, sc.visited[:0])
+	sc.visited = visited
+	mark := len(dst)
+	for _, n := range visited {
+		dst = ix.scanNode(n, q, counters, dst)
+	}
+	slices.SortFunc(dst[mark:], byID)
 	if counters != nil {
 		counters.Queries++
-		counters.Matches += int64(len(matches))
+		counters.Matches += int64(len(dst) - mark)
 	}
-	return matches
+	return dst
 }
 
 // BroadMatchText is BroadMatch on raw query text.
@@ -92,7 +127,7 @@ func (ix *Index) ExactMatch(query string, counters *costmodel.Counters) []*corpu
 			continue
 		}
 		pTokens := textnorm.FoldDuplicates(textnorm.Tokenize(rec.Phrase))
-		if tokensEqual(pTokens, qTokens) {
+		if slices.Equal(pTokens, qTokens) {
 			matches = append(matches, rec)
 		}
 	}
@@ -118,7 +153,7 @@ func (ix *Index) PhraseMatch(query string, counters *costmodel.Counters) []*corp
 		return nil
 	}
 	var matches []*corpus.Ad
-	ix.forEachCandidateNode(q, counters, func(n *node) {
+	for _, n := range ix.appendCandidateNodes(q, counters, nil) {
 		for i := range n.records {
 			rec := &n.records[i]
 			if len(rec.Words) > len(q) {
@@ -131,11 +166,11 @@ func (ix *Index) PhraseMatch(query string, counters *costmodel.Counters) []*corp
 			if !textnorm.IsSubset(rec.Words, q) {
 				continue
 			}
-			if containsContiguous(qTokens, textnorm.Tokenize(rec.Phrase)) {
+			if textnorm.ContainsContiguous(qTokens, textnorm.Tokenize(rec.Phrase)) {
 				matches = append(matches, rec)
 			}
 		}
-	})
+	}
 	slices.SortFunc(matches, byID)
 	if counters != nil {
 		counters.Matches += int64(len(matches))
@@ -155,80 +190,83 @@ func (ix *Index) lookupLocator(key string, counters *costmodel.Counters) (string
 	return locKey, ok
 }
 
-// prepareQuery canonicalizes the query for subset enumeration: words not
-// present in any indexed bid are dropped (this cannot change the result,
-// since every match's words are indexed), and over-long queries are cut to
-// their MaxQueryWords rarest indexed words (the Section IV-B heuristic
-// cutoff, which may lose matches on extreme queries).
+// prepareQuery canonicalizes the query for subset enumeration; see
+// prepareQueryInto.
 func (ix *Index) prepareQuery(queryWords []string) []string {
-	q := make([]string, 0, len(queryWords))
+	return ix.prepareQueryInto(make([]string, 0, len(queryWords)), queryWords)
+}
+
+// prepareQueryInto appends the prepared form of queryWords to buf: words
+// not present in any indexed bid are dropped (this cannot change the
+// result, since every match's words are indexed), and over-long queries
+// are cut to their MaxQueryWords rarest indexed words (the Section IV-B
+// heuristic cutoff, which may lose matches on extreme queries).
+func (ix *Index) prepareQueryInto(buf []string, queryWords []string) []string {
 	for _, w := range queryWords {
 		if ix.df[w] > 0 {
-			q = append(q, w)
+			buf = append(buf, w)
 		}
 	}
-	if len(q) > ix.opts.MaxQueryWords {
-		sort.SliceStable(q, func(i, j int) bool {
-			di, dj := ix.df[q[i]], ix.df[q[j]]
+	if len(buf) > ix.opts.MaxQueryWords {
+		sort.SliceStable(buf, func(i, j int) bool {
+			di, dj := ix.df[buf[i]], ix.df[buf[j]]
 			if di != dj {
 				return di < dj
 			}
-			return q[i] < q[j]
+			return buf[i] < buf[j]
 		})
-		q = textnorm.CanonicalSet(q[:ix.opts.MaxQueryWords])
+		cut := textnorm.CanonicalSet(buf[:ix.opts.MaxQueryWords])
+		buf = append(buf[:0], cut...)
 	}
-	return q
+	return buf
 }
 
-// forEachCandidateNode enumerates all non-empty subsets of q up to
-// MaxWords words (the bound established by long-phrase re-mapping), probes
-// H for each, and invokes visit once per distinct data node found. The
-// subset hash is computed incrementally during enumeration, so no subset
-// slice is ever materialized.
-func (ix *Index) forEachCandidateNode(q []string, counters *costmodel.Counters, visit func(*node)) {
+// appendCandidateNodes appends to visited each distinct data node
+// reachable from a non-empty subset of q up to MaxWords words (the bound
+// established by long-phrase re-mapping), probing H with an incrementally
+// extended hash so no subset slice is ever materialized. The linear dedup
+// scan over visited guards against WordHash collisions between enumerated
+// subsets and against re-mapped nodes reachable via multiple subset
+// locators; hit counts per query are small, so the scan beats a map. The
+// recursion carries no closure state, so enumeration allocates only when
+// visited outgrows its capacity.
+func (ix *Index) appendCandidateNodes(q []string, counters *costmodel.Counters, visited []*node) []*node {
 	k := ix.opts.MaxWords
 	if k > len(q) {
 		k = len(q)
 	}
-	// visited guards against WordHash collisions between two enumerated
-	// subsets mapping to the same node (would duplicate results) and
-	// against re-mapped nodes reachable via multiple subset locators. The
-	// hit count per query is small, so a linear scan over a stack-backed
-	// slice avoids a per-query map allocation in the hot path.
-	var visitedArr [24]*node
-	visited := visitedArr[:0]
-	var rec func(start int, h uint64, size int)
-	rec = func(start int, h uint64, size int) {
-		for i := start; i < len(q); i++ {
-			nh := hashExtend(h, size == 0, q[i])
-			if counters != nil {
-				counters.HashProbes++
-				counters.RandomAccesses++
-				counters.BytesScanned += int64(ix.opts.MemHash)
-			}
-			if n := ix.table[nh]; n != nil {
-				dup := false
-				for _, vn := range visited {
-					if vn == n {
-						dup = true
-						break
-					}
-				}
-				if !dup {
-					visited = append(visited, n)
-					if counters != nil {
-						counters.RandomAccesses++
-						counters.NodesVisited++
-					}
-					visit(n)
+	return ix.enumSubsets(q, 0, fnvOffset64, 0, k, counters, visited)
+}
+
+func (ix *Index) enumSubsets(q []string, start int, h uint64, size, k int, counters *costmodel.Counters, visited []*node) []*node {
+	for i := start; i < len(q); i++ {
+		nh := hashExtend(h, size == 0, q[i])
+		if counters != nil {
+			counters.HashProbes++
+			counters.RandomAccesses++
+			counters.BytesScanned += int64(ix.opts.MemHash)
+		}
+		if n := ix.table[nh]; n != nil {
+			dup := false
+			for _, vn := range visited {
+				if vn == n {
+					dup = true
+					break
 				}
 			}
-			if size+1 < k {
-				rec(i+1, nh, size+1)
+			if !dup {
+				if counters != nil {
+					counters.RandomAccesses++
+					counters.NodesVisited++
+				}
+				visited = append(visited, n)
 			}
 		}
+		if size+1 < k {
+			visited = ix.enumSubsets(q, i+1, nh, size+1, k, counters, visited)
+		}
 	}
-	rec(0, fnvOffset64, 0)
+	return visited
 }
 
 // scanNode appends all records of n that broad-match q. Records are
@@ -270,34 +308,4 @@ func (ix *Index) LookupsForQueryLength(n int) int {
 		total += c
 	}
 	return total
-}
-
-func tokensEqual(a, b []string) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	for i := range a {
-		if a[i] != b[i] {
-			return false
-		}
-	}
-	return true
-}
-
-// containsContiguous reports whether needle occurs in haystack as a
-// contiguous subsequence.
-func containsContiguous(haystack, needle []string) bool {
-	if len(needle) == 0 || len(needle) > len(haystack) {
-		return len(needle) == 0
-	}
-outer:
-	for i := 0; i+len(needle) <= len(haystack); i++ {
-		for j := range needle {
-			if haystack[i+j] != needle[j] {
-				continue outer
-			}
-		}
-		return true
-	}
-	return false
 }

@@ -8,6 +8,7 @@
 // Endpoints:
 //
 //	GET  /search?q=...&type=broad|exact|phrase   retrieval (cached, admitted)
+//	POST /search/batch                           broad-match many queries on one snapshot
 //	POST /insert                                 add an ad (JSON body)
 //	POST /delete                                 remove an ad (JSON body)
 //	GET  /stats                                  index structure statistics
@@ -185,6 +186,7 @@ func newServer(ix *adindex.Index, nc *shard.NetClient, cfg Config) *Server {
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/search", s.handleSearch)
+	mux.HandleFunc("/search/batch", s.handleSearchBatch)
 	mux.HandleFunc("/insert", s.handleInsert)
 	mux.HandleFunc("/delete", s.handleDelete)
 	mux.HandleFunc("/stats", s.handleStats)
@@ -355,20 +357,21 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	}
 
 	s.ix.Observe(q)
-	// The epoch is read before the match runs: if a mutation lands while
-	// we compute, we store the result under the old epoch and the next
-	// lookup discards it, so a stale result is never served.
+	// A View pins the epoch and the match results to the same snapshot:
+	// a cache entry can never pair an epoch with results computed against
+	// a different index state, so a stale result is never served.
+	view := s.ix.View()
 	key := cacheKey(matchType, q)
-	epoch := s.ix.Epoch()
+	epoch := view.Epoch()
 	matches, hit := s.cache.Get(key, epoch)
 	if !hit {
 		switch matchType {
 		case "exact":
-			matches = s.ix.ExactMatch(q)
+			matches = view.ExactMatch(q)
 		case "phrase":
-			matches = s.ix.PhraseMatch(q)
+			matches = view.PhraseMatch(q)
 		default:
-			matches = s.ix.BroadMatch(q)
+			matches = view.BroadMatch(q)
 		}
 		s.cache.Put(key, epoch, matches)
 	}
@@ -388,6 +391,113 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		Cached:  hit,
 		Ads:     result,
 		TookUS:  took.Microseconds(),
+	})
+	s.metrics.Latency.Observe(time.Since(start))
+}
+
+// MaxBatchQueries bounds a single /search/batch request.
+const MaxBatchQueries = 256
+
+type batchRequest struct {
+	Queries []string `json:"queries"`
+}
+
+type batchResult struct {
+	Query   string       `json:"query"`
+	Matched int          `json:"matched"`
+	Cached  bool         `json:"cached"`
+	Ads     []adindex.Ad `json:"ads"`
+}
+
+type batchResponse struct {
+	Epoch   uint64        `json:"epoch"`
+	Results []batchResult `json:"results"`
+	TookUS  int64         `json:"took_us"`
+}
+
+// handleSearchBatch answers POST /search/batch: broad-match for up to
+// MaxBatchQueries queries evaluated against one consistent index snapshot
+// (adindex.View), so every result in the response reflects the same epoch.
+// Cache hits are served per query; misses go through the batched
+// zero-allocation match path and are cached under the view's epoch.
+func (s *Server) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	if s.remote != nil {
+		http.Error(w, "batch search is not supported in remote (distributed) mode",
+			http.StatusNotImplemented)
+		return
+	}
+	var req batchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.metrics.BadRequests.Add(1)
+		http.Error(w, "bad batch body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(req.Queries) == 0 || len(req.Queries) > MaxBatchQueries {
+		s.metrics.BadRequests.Add(1)
+		http.Error(w, fmt.Sprintf("batch requires 1..%d queries", MaxBatchQueries),
+			http.StatusBadRequest)
+		return
+	}
+	for _, q := range req.Queries {
+		if strings.TrimSpace(q) == "" {
+			s.metrics.BadRequests.Add(1)
+			http.Error(w, "batch contains an empty query", http.StatusBadRequest)
+			return
+		}
+	}
+
+	// One admission slot covers the whole batch (a batch is one request's
+	// worth of work from the limiter's perspective).
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	if err := s.limiter.Acquire(ctx); err != nil {
+		if errors.Is(err, ErrQueueFull) {
+			s.metrics.Shed.Add(1)
+		} else {
+			s.metrics.Timeouts.Add(1)
+		}
+		s.shed(w)
+		return
+	}
+	defer s.limiter.Release()
+	s.metrics.InFlight.Add(1)
+	defer s.metrics.InFlight.Add(-1)
+	s.metrics.ReqBroad.Add(uint64(len(req.Queries)))
+
+	view := s.ix.View()
+	epoch := view.Epoch()
+	results := make([]batchResult, len(req.Queries))
+	var missIdx []int
+	var missQueries []string
+	for i, q := range req.Queries {
+		s.ix.Observe(q)
+		if matches, hit := s.cache.Get(cacheKey("broad", q), epoch); hit {
+			results[i] = batchResult{Query: q, Matched: len(matches), Cached: true, Ads: matches}
+			continue
+		}
+		missIdx = append(missIdx, i)
+		missQueries = append(missQueries, q)
+	}
+	for j, matches := range view.BroadMatchBatch(missQueries) {
+		i := missIdx[j]
+		q := req.Queries[i]
+		s.cache.Put(cacheKey("broad", q), epoch, matches)
+		results[i] = batchResult{Query: q, Matched: len(matches), Ads: matches}
+	}
+	if s.cfg.Selection != nil {
+		for i := range results {
+			results[i].Ads = adindex.SelectAds(results[i].Query, results[i].Ads, *s.cfg.Selection)
+		}
+	}
+	s.writeJSON(w, batchResponse{
+		Epoch:   epoch,
+		Results: results,
+		TookUS:  time.Since(start).Microseconds(),
 	})
 	s.metrics.Latency.Observe(time.Since(start))
 }

@@ -9,18 +9,33 @@ import (
 	"sort"
 	"strings"
 	"unicode"
+	"unicode/utf8"
 )
 
 // Tokenize splits s into lowercase word tokens. A token is a maximal run of
 // letters, digits, and apostrophes; every other rune is a separator. The
 // original token order is preserved (needed for phrase match).
 func Tokenize(s string) []string {
-	if s == "" {
+	tokens := AppendTokens(nil, s)
+	if len(tokens) == 0 {
 		return nil
 	}
-	tokens := make([]string, 0, 8)
+	return tokens
+}
+
+// AppendTokens appends the lowercase tokens of s to buf and returns the
+// extended slice. When s contains no uppercase and no non-ASCII runes the
+// tokens slice s directly and no intermediate string is allocated, which is
+// the common case on the query hot path (callers hand in a pooled buffer).
+func AppendTokens(buf []string, s string) []string {
+	if s == "" {
+		return buf
+	}
+	lower := s
+	if mayHaveUpper(s) {
+		lower = strings.ToLower(s)
+	}
 	start := -1
-	lower := strings.ToLower(s)
 	for i, r := range lower {
 		if isWordRune(r) {
 			if start < 0 {
@@ -29,17 +44,26 @@ func Tokenize(s string) []string {
 			continue
 		}
 		if start >= 0 {
-			tokens = append(tokens, lower[start:i])
+			buf = append(buf, lower[start:i])
 			start = -1
 		}
 	}
 	if start >= 0 {
-		tokens = append(tokens, lower[start:])
+		buf = append(buf, lower[start:])
 	}
-	if len(tokens) == 0 {
-		return nil
+	return buf
+}
+
+// mayHaveUpper reports whether lowercasing s could change it. Non-ASCII
+// bytes conservatively report true and defer to strings.ToLower.
+func mayHaveUpper(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c >= 'A' && c <= 'Z' || c >= utf8.RuneSelf {
+			return true
+		}
 	}
-	return tokens
+	return false
 }
 
 func isWordRune(r rune) bool {
@@ -91,7 +115,64 @@ func foldedToken(t string, n int) string {
 // tokenized, duplicate-folded, sorted, and deduplicated. Broad-match
 // processing operates exclusively on canonical word sets.
 func WordSet(s string) []string {
-	return CanonicalSet(FoldDuplicates(Tokenize(s)))
+	out := AppendWordSet(nil, s)
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// AppendWordSet appends the canonical word set of s to buf and returns the
+// extended slice. It computes exactly WordSet(s) but reuses buf for every
+// intermediate step: tokens are appended in place, then sorted, folded, and
+// deduplicated within the same backing array. With a pooled buffer and
+// already-lowercase ASCII input the whole conversion performs zero
+// allocations (folded duplicate tokens, which are rare, are the only
+// exception).
+func AppendWordSet(buf []string, s string) []string {
+	mark := len(buf)
+	buf = AppendTokens(buf, s)
+	toks := buf[mark:]
+	if len(toks) == 0 {
+		return buf[:mark]
+	}
+	sort.Strings(toks)
+	// Fold runs of equal tokens (the multiple-occurrence semantics of
+	// FoldDuplicates): on a sorted slice every duplicate group is a run, so
+	// run-compression is equivalent to FoldDuplicates followed by
+	// CanonicalSet's sort.
+	w := 0
+	folded := false
+	for r := 0; r < len(toks); {
+		run := r + 1
+		for run < len(toks) && toks[run] == toks[r] {
+			run++
+		}
+		if n := run - r; n > 1 {
+			toks[w] = foldedToken(toks[r], n)
+			folded = true
+		} else {
+			toks[w] = toks[r]
+		}
+		w++
+		r = run
+	}
+	toks = toks[:w]
+	if folded {
+		// Folded tokens ("talk_talk") can sort differently from the tokens
+		// they replace, and can collide with literal tokens already
+		// present; restore sortedness and uniqueness.
+		sort.Strings(toks)
+		w = 0
+		for r := 0; r < len(toks); r++ {
+			if r == 0 || toks[r] != toks[r-1] {
+				toks[w] = toks[r]
+				w++
+			}
+		}
+		toks = toks[:w]
+	}
+	return buf[:mark+len(toks)]
 }
 
 // CanonicalSet sorts a copy of words and removes duplicates, producing the
@@ -143,6 +224,24 @@ func SetEqual(a, b []string) bool {
 		}
 	}
 	return true
+}
+
+// ContainsContiguous reports whether needle occurs in haystack as a
+// contiguous token subsequence (the phrase-match containment test).
+func ContainsContiguous(haystack, needle []string) bool {
+	if len(needle) == 0 || len(needle) > len(haystack) {
+		return len(needle) == 0
+	}
+outer:
+	for i := 0; i+len(needle) <= len(haystack); i++ {
+		for j := range needle {
+			if haystack[i+j] != needle[j] {
+				continue outer
+			}
+		}
+		return true
+	}
+	return false
 }
 
 // SetKey joins a canonical word set into a single string key usable as a Go

@@ -243,3 +243,90 @@ func TestFoldedTokenJoin(t *testing.T) {
 		t.Errorf("expected 3 separators in %q", got[0])
 	}
 }
+
+// referenceWordSet is the pre-append-path implementation of WordSet:
+// tokenize, fold duplicates, canonicalize. AppendWordSet must agree with
+// it on every input.
+func referenceWordSet(s string) []string {
+	return CanonicalSet(FoldDuplicates(Tokenize(s)))
+}
+
+func TestAppendWordSetMatchesReference(t *testing.T) {
+	cases := []string{
+		"",
+		"   ",
+		"used books",
+		"Used BOOKS",
+		"talk talk",
+		"talk talk talk",
+		"cheap cheap used used books",
+		"a_b c", // underscore is a separator, not a word rune
+		"don't stop don't stop",
+		"ünïcode Ünïcode",
+		"digits 99 digits 99",
+		"z y x w v u t s",
+		"mixed CASE mixed case MIXED",
+		"apostrophe's apostrophe's twin",
+		"0 0_0 0", // folded "0_0" collides with a literal token
+	}
+	for _, s := range cases {
+		want := referenceWordSet(s)
+		got := AppendWordSet(nil, s)
+		if len(want) == 0 && len(got) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("AppendWordSet(%q) = %v, want %v", s, got, want)
+		}
+	}
+}
+
+func TestAppendWordSetReusesBuffer(t *testing.T) {
+	buf := make([]string, 0, 16)
+	a := AppendWordSet(buf, "cheap used books")
+	if &a[0] != &buf[:1][0] {
+		t.Fatal("AppendWordSet did not write into the provided buffer")
+	}
+	// Appending after a mark preserves the prefix.
+	pre := append(buf[:0], "prefix")
+	b := AppendWordSet(pre, "used books")
+	if b[0] != "prefix" || !reflect.DeepEqual(b[1:], []string{"books", "used"}) {
+		t.Fatalf("prefix clobbered: %v", b)
+	}
+}
+
+func TestAppendTokensMatchesTokenize(t *testing.T) {
+	cases := []string{"", "Used Books!", "a,b;c", "ünïcode RÄT", "don't", "x"}
+	for _, s := range cases {
+		want := Tokenize(s)
+		got := AppendTokens(nil, s)
+		if len(want) == 0 && len(got) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("AppendTokens(%q) = %v, want %v", s, got, want)
+		}
+	}
+}
+
+func TestAppendWordSetZeroAllocLowercaseASCII(t *testing.T) {
+	buf := make([]string, 0, 16)
+	allocs := testing.AllocsPerRun(200, func() {
+		buf = AppendWordSet(buf[:0], "cheap used books today")
+	})
+	if allocs != 0 {
+		t.Fatalf("AppendWordSet allocates %.1f objects/op on lowercase ASCII, want 0", allocs)
+	}
+}
+
+func TestContainsContiguousExported(t *testing.T) {
+	if !ContainsContiguous([]string{"a", "b", "c"}, []string{"b", "c"}) {
+		t.Fatal("contiguous needle not found")
+	}
+	if ContainsContiguous([]string{"a", "b", "c"}, []string{"a", "c"}) {
+		t.Fatal("non-contiguous needle reported found")
+	}
+	if !ContainsContiguous([]string{"a"}, nil) {
+		t.Fatal("empty needle must match")
+	}
+}

@@ -1,0 +1,136 @@
+package adindex
+
+import (
+	"sync"
+
+	"adindex/internal/textnorm"
+	"adindex/internal/workload"
+)
+
+// observeShards is the shard count of the workload sampler. Sixteen
+// single-mutex shards keep Observe contention negligible at serving
+// concurrency while staying small enough that per-shard caps divide
+// evenly.
+const observeShards = 16
+
+// observeSampler records the observed query workload behind per-shard
+// mutexes, so Observe never contends with queries (which are lock-free)
+// and rarely with other Observe calls. Shards are merged on demand by
+// Workload / Distinct (Optimize and ExportWorkload time).
+type observeSampler struct {
+	// shardCap bounds each shard; the global Options.MaxObservedQueries
+	// cap is divided evenly, so totals stay at or below the configured cap.
+	shardCap int
+	shards   [observeShards]observeShard
+}
+
+type observeShard struct {
+	mu sync.Mutex
+	m  map[string]*workload.Query
+}
+
+func newObserveSampler(maxObserved int) *observeSampler {
+	cap := maxObserved / observeShards
+	if cap < 1 {
+		cap = 1
+	}
+	s := &observeSampler{shardCap: cap}
+	for i := range s.shards {
+		s.shards[i].m = make(map[string]*workload.Query)
+	}
+	return s
+}
+
+// shardIndex picks the shard for a canonical set key (FNV-1a; a set key
+// always lands on the same shard, so per-key frequency counts never
+// split).
+func shardIndex(key string) int {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return int(h % observeShards)
+}
+
+// Observe records one occurrence of query. The frequent case (a query set
+// already sampled) costs one short critical section on one shard and, with
+// lowercase ASCII input, a single allocation (the set-key string).
+func (os *observeSampler) Observe(query string) {
+	sc := getScratch()
+	sc.words = textnorm.AppendWordSet(sc.words[:0], query)
+	if len(sc.words) == 0 {
+		putScratch(sc)
+		return
+	}
+	key := textnorm.SetKey(sc.words)
+	sh := &os.shards[shardIndex(key)]
+	sh.mu.Lock()
+	if q, ok := sh.m[key]; ok {
+		q.Freq++
+	} else {
+		if len(sh.m) >= os.shardCap {
+			sh.evictLocked()
+		}
+		// The scratch words buffer is pooled; copy it on first admit.
+		words := make([]string, len(sc.words))
+		copy(words, sc.words)
+		sh.m[key] = &workload.Query{Words: words, Freq: 1}
+	}
+	sh.mu.Unlock()
+	putScratch(sc)
+}
+
+// evictLocked removes the lowest-frequency entry among a small random
+// sample of the shard (Go map iteration order is randomized, so iterating
+// a few entries is a cheap approximate-LFU sample). Holding only a sample
+// keeps eviction O(1) regardless of the cap, and the high-frequency head
+// of a power-law workload survives.
+func (sh *observeShard) evictLocked() {
+	const sample = 8
+	victim := ""
+	victimFreq := 0
+	n := 0
+	for key, q := range sh.m {
+		if victim == "" || q.Freq < victimFreq {
+			victim, victimFreq = key, q.Freq
+		}
+		if n++; n >= sample {
+			break
+		}
+	}
+	if victim != "" {
+		delete(sh.m, victim)
+	}
+}
+
+// Distinct returns the number of distinct sampled query sets.
+func (os *observeSampler) Distinct() int {
+	total := 0
+	for i := range os.shards {
+		sh := &os.shards[i]
+		sh.mu.Lock()
+		total += len(sh.m)
+		sh.mu.Unlock()
+	}
+	return total
+}
+
+// Workload merges all shards into a workload snapshot. A key only ever
+// lives on one shard, so concatenation needs no cross-shard merging.
+func (os *observeSampler) Workload() *workload.Workload {
+	wl := &workload.Workload{}
+	for i := range os.shards {
+		sh := &os.shards[i]
+		sh.mu.Lock()
+		for _, q := range sh.m {
+			wl.Queries = append(wl.Queries, *q)
+		}
+		sh.mu.Unlock()
+	}
+	return wl
+}
