@@ -1,17 +1,20 @@
 # Development / CI entry points. `make check` is the gate every change
 # must pass: vet, build, the full test suite, a race-detector pass over
 # the concurrency-heavy packages (the root index with its lock-free
-# snapshot stress test, the serving layer, the multi-server harness, the
-# fault-injection proxy, and the shard failover client), and a
-# one-iteration benchmark smoke run. The race pass runs -short so the
+# snapshot stress test, the serving layer, the durable store, the
+# multi-server harness, the fault-injection proxy, and the shard
+# failover client), a crash-recovery smoke (kill -9 a churning child,
+# recover, compare against the serial oracle; plus crash-at-every-write
+# snapshot atomicity), a short fuzz run over the corpus text format, and
+# a one-iteration benchmark smoke run. The race pass runs -short so the
 # heavyweight load comparison stays affordable under the detector and
 # the fault-injection latency schedules stay under ~2s.
 
 GO ?= go
 
-.PHONY: check vet build test race benchsmoke bench clean
+.PHONY: check vet build test race recovery-smoke fuzzsmoke benchsmoke bench clean
 
-check: vet build test race benchsmoke
+check: vet build test race recovery-smoke fuzzsmoke benchsmoke
 
 vet:
 	$(GO) vet ./...
@@ -24,7 +27,19 @@ test:
 
 race:
 	$(GO) test -race -short . ./internal/server ./internal/multiserver \
-		./internal/faultnet ./internal/shard
+		./internal/faultnet ./internal/shard ./internal/durable ./internal/diskfault
+
+# The crash-recovery stress skips under -short (it forks and SIGKILLs a
+# child), so the smoke target runs it explicitly, under the race
+# detector, together with the crash-at-every-write atomicity sweep.
+recovery-smoke:
+	$(GO) test -race -run 'TestCrashRecoveryStress|TestSnapshotAtomicUnderCrash' \
+		-v . ./internal/diskfault
+
+# Ten seconds of coverage-guided fuzzing over the corpus text format
+# round-trip property (Read ∘ Write = id on accepted inputs).
+fuzzsmoke:
+	$(GO) test -run='^$$' -fuzz=FuzzReadAds -fuzztime=10s ./internal/corpus
 
 # One iteration of every root benchmark: keeps them compiling and
 # running without timing anything.

@@ -9,6 +9,7 @@ import (
 	"adindex/internal/core"
 	"adindex/internal/corpus"
 	"adindex/internal/costmodel"
+	"adindex/internal/durable"
 	"adindex/internal/optimize"
 	"adindex/internal/textnorm"
 )
@@ -128,6 +129,37 @@ type Index struct {
 	// to inject churn into the rebuild window. Set it before the index is
 	// shared across goroutines.
 	optimizeRebuildHook func(attempt int)
+
+	// store, when non-nil, is the durable persistence backend: mutations
+	// are WAL-logged before they apply (write-ahead, under ix.mu) and
+	// Optimize/ApplyMapping write a full snapshot. Nil for the default
+	// in-memory index. Set only during construction (OpenDurable).
+	store *durable.Store
+	// snapshotEvery triggers an automatic snapshot rotation once this
+	// many WAL records accumulate; <= 0 disables auto-rotation.
+	snapshotEvery int
+	// persistFailure records the first persistence error (set once).
+	// Mutations still apply in memory after a persistence failure so
+	// serving continues, but durability is gone from that point on;
+	// operators watch PersistErr via /metrics and restart.
+	persistFailure atomic.Pointer[persistErrBox]
+}
+
+type persistErrBox struct{ err error }
+
+func (ix *Index) notePersistErr(err error) {
+	ix.persistFailure.CompareAndSwap(nil, &persistErrBox{err: err})
+}
+
+// PersistErr returns the first persistence failure (WAL append or
+// snapshot write) encountered, or nil. Once non-nil the in-memory index
+// is ahead of disk: acknowledged mutations after that point would not
+// survive a crash.
+func (ix *Index) PersistErr() error {
+	if b := ix.persistFailure.Load(); b != nil {
+		return b.err
+	}
+	return nil
 }
 
 // Epoch returns the index mutation epoch: a counter bumped by every
@@ -170,6 +202,22 @@ func (ix *Index) publish(s *snapshot) { ix.snap.Store(s) }
 func (ix *Index) Insert(ad Ad) {
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
+	if ix.store != nil {
+		// Write-ahead: the record is on disk (fsync'd under SyncAlways)
+		// before the mutation becomes visible to queries.
+		if err := ix.store.LogInsert(ad); err != nil {
+			ix.notePersistErr(err)
+		}
+	}
+	ix.insertLocked(ad)
+	ix.maybeAutoSnapshotLocked()
+}
+
+// insertLocked applies an insert to the published snapshot. Callers must
+// hold ix.mu. WAL recovery replays records through this same path, so a
+// recovered index is bit-for-bit the index the mutations built live
+// (including the epoch, which advances once per record).
+func (ix *Index) insertLocked(ad Ad) {
 	s := ix.snap.Load()
 	if s.overlaySize() >= ix.opts.maxDeltaAds() {
 		base := s.fold(ix.opts.coreOptions())
@@ -196,6 +244,21 @@ func (ix *Index) Insert(ad Ad) {
 func (ix *Index) Delete(id uint64, phrase string) bool {
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
+	if ix.store != nil {
+		// Not-found deletes are logged too: they advance the epoch, and
+		// recovery must reproduce the exact epoch sequence.
+		if err := ix.store.LogDelete(id, phrase); err != nil {
+			ix.notePersistErr(err)
+		}
+	}
+	found := ix.deleteLocked(id, phrase)
+	ix.maybeAutoSnapshotLocked()
+	return found
+}
+
+// deleteLocked applies a delete to the published snapshot. Callers must
+// hold ix.mu; see insertLocked for the recovery-replay contract.
+func (ix *Index) deleteLocked(id uint64, phrase string) bool {
 	s := ix.snap.Load()
 	key := textnorm.SetKey(textnorm.WordSet(phrase))
 	for i := len(s.delta) - 1; i >= 0; i-- {
@@ -340,6 +403,11 @@ func (ix *Index) Optimize() (OptimizeReport, error) {
 				base: rebuilt, delta: cur.delta, tombs: cur.tombs,
 				deleted: cur.deleted, epoch: cur.epoch + 1,
 			})
+			// Layout changes are not WAL-logged (the WAL holds logical
+			// mutations only), so persist the optimized placement as a
+			// full snapshot before releasing the writer lock. Mutators
+			// stall for the write; queries stay lock-free.
+			ix.snapshotIfDurableLocked()
 			ix.mu.Unlock()
 			report.NodesAfter = rebuilt.NumNodes()
 			report.Applied = true
@@ -392,7 +460,43 @@ func (ix *Index) ApplyMapping(r io.Reader) error {
 		return err
 	}
 	ix.publish(&snapshot{base: rebuilt, epoch: s.epoch + 1})
+	ix.snapshotIfDurableLocked()
 	return nil
+}
+
+// snapshotIfDurableLocked writes the published state as a new snapshot
+// generation when the index is durable. Callers must hold ix.mu: holding
+// the writer lock across the capture and the write is what guarantees no
+// concurrent mutation lands in the rotated-away WAL. Failures are
+// recorded via notePersistErr, not returned — the in-memory state is
+// already published.
+func (ix *Index) snapshotIfDurableLocked() {
+	if ix.store == nil {
+		return
+	}
+	if err := ix.snapshotLocked(); err != nil {
+		ix.notePersistErr(err)
+	}
+}
+
+// snapshotLocked captures the published snapshot (ads, the base's node
+// mapping, epoch) and writes it as a new durable generation, rotating
+// the WAL. Callers must hold ix.mu.
+func (ix *Index) snapshotLocked() error {
+	s := ix.snap.Load()
+	return ix.store.WriteSnapshot(s.materialize(), s.base.Mapping(), s.epoch)
+}
+
+// maybeAutoSnapshotLocked rotates the WAL into a fresh snapshot once
+// enough records accumulate, bounding both recovery replay time and WAL
+// growth. Callers must hold ix.mu.
+func (ix *Index) maybeAutoSnapshotLocked() {
+	if ix.store == nil || ix.snapshotEvery <= 0 {
+		return
+	}
+	if ix.store.RecordsSinceSnapshot() >= ix.snapshotEvery {
+		ix.snapshotIfDurableLocked()
+	}
 }
 
 // Stats describes the physical structure of the index.

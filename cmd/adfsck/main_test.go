@@ -1,0 +1,186 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"adindex/internal/corpus"
+	"adindex/internal/durable"
+)
+
+func TestExitCodesDistinct(t *testing.T) {
+	classes := []durable.Corruption{
+		durable.CorruptNone, durable.CorruptHeader, durable.CorruptSectionCRC,
+		durable.CorruptSnapTruncated, durable.CorruptWALTorn, durable.CorruptWALRecord,
+	}
+	seen := map[int]durable.Corruption{}
+	for _, c := range classes {
+		code := exitCode(c)
+		if prev, dup := seen[code]; dup {
+			t.Fatalf("classes %s and %s share exit code %d", prev, c, code)
+		}
+		if c != durable.CorruptNone && code == 0 {
+			t.Fatalf("corruption class %s maps to exit 0", c)
+		}
+		seen[code] = c
+	}
+}
+
+// buildFsck compiles the adfsck binary once for the CLI tests.
+func buildFsck(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "adfsck")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// seedDir writes a state directory with one snapshot generation and a
+// few WAL records on top.
+func seedDir(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	st, _, err := durable.Open(dir, durable.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ads := corpus.Generate(corpus.GenOptions{NumAds: 20, Seed: 31}).Ads
+	for _, ad := range ads[:10] {
+		if err := st.LogInsert(ad); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.WriteSnapshot(ads[:10], nil, 10); err != nil {
+		t.Fatal(err)
+	}
+	for _, ad := range ads[10:] {
+		if err := st.LogInsert(ad); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st.Close()
+	return dir
+}
+
+func corruptAt(t *testing.T, path string, off int) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off < 0 {
+		off += len(data)
+	}
+	data[off] ^= 0x20
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func runFsck(t *testing.T, bin string, args ...string) (int, string) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		return 0, string(out)
+	}
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("run adfsck: %v\n%s", err, out)
+	}
+	return ee.ExitCode(), string(out)
+}
+
+func TestCLIDetectsEveryCorruptionClass(t *testing.T) {
+	bin := buildFsck(t)
+	snapName := "snap-0000000000000001.snap"
+	walName := "wal-0000000000000001.wal"
+
+	cases := []struct {
+		name     string
+		corrupt  func(t *testing.T, dir string)
+		wantExit int
+		wantWord string
+	}{
+		{"clean", func(t *testing.T, dir string) {}, 0, "ok"},
+		{"bad-header", func(t *testing.T, dir string) {
+			corruptAt(t, filepath.Join(dir, snapName), 2)
+		}, 2, "bad-snapshot-header"},
+		{"bad-section-crc", func(t *testing.T, dir string) {
+			corruptAt(t, filepath.Join(dir, snapName), 60)
+		}, 3, "bad-section-crc"},
+		{"truncated-snapshot", func(t *testing.T, dir string) {
+			p := filepath.Join(dir, snapName)
+			fi, _ := os.Stat(p)
+			if err := os.Truncate(p, fi.Size()-5); err != nil {
+				t.Fatal(err)
+			}
+		}, 4, "truncated-snapshot"},
+		{"torn-wal", func(t *testing.T, dir string) {
+			f, err := os.OpenFile(filepath.Join(dir, walName), os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				t.Fatal(err)
+			}
+			f.Write([]byte{0xff, 0xff, 0, 0, 1})
+			f.Close()
+		}, 5, "torn-wal-tail"},
+		{"corrupt-wal-record", func(t *testing.T, dir string) {
+			corruptAt(t, filepath.Join(dir, walName), 10)
+		}, 6, "corrupt-wal-record"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := seedDir(t)
+			tc.corrupt(t, dir)
+			code, out := runFsck(t, bin, dir)
+			if code != tc.wantExit {
+				t.Fatalf("exit = %d, want %d\noutput:\n%s", code, tc.wantExit, out)
+			}
+			if !strings.Contains(out, tc.wantWord) {
+				t.Fatalf("output missing %q:\n%s", tc.wantWord, out)
+			}
+		})
+	}
+}
+
+func TestCLIRepairTruncatesTornTail(t *testing.T) {
+	bin := buildFsck(t)
+	dir := seedDir(t)
+	walPath := filepath.Join(dir, "wal-0000000000000001.wal")
+	clean, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, _ := os.OpenFile(walPath, os.O_WRONLY|os.O_APPEND, 0o644)
+	f.Write([]byte{1, 2, 3})
+	f.Close()
+	// Stray tmp file from a crashed snapshot write.
+	os.WriteFile(filepath.Join(dir, "snap-0000000000000002.snap.tmp"), []byte("x"), 0o644)
+
+	code, out := runFsck(t, bin, "-repair", dir)
+	if code != 0 {
+		t.Fatalf("repair exit = %d\n%s", code, out)
+	}
+	if !strings.Contains(out, "truncated") || !strings.Contains(out, "removed") {
+		t.Fatalf("repair output missing actions:\n%s", out)
+	}
+	after, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) != len(clean) {
+		t.Fatalf("wal is %d bytes after repair, want %d", len(after), len(clean))
+	}
+	if _, err := os.Stat(filepath.Join(dir, "snap-0000000000000002.snap.tmp")); !os.IsNotExist(err) {
+		t.Fatal("tmp file survived repair")
+	}
+	// Clean verify after repair.
+	if code, out := runFsck(t, bin, dir); code != 0 {
+		t.Fatalf("post-repair exit = %d\n%s", code, out)
+	}
+}

@@ -46,6 +46,7 @@ import (
 
 	"adindex"
 	"adindex/internal/corpus"
+	"adindex/internal/durable"
 	"adindex/internal/multiserver"
 	"adindex/internal/server"
 	"adindex/internal/shard"
@@ -64,6 +65,18 @@ func main() {
 		"per-request deadline covering admission-queue wait and execution")
 	maxObserved := flag.Int("max-observed", adindex.DefaultMaxObservedQueries,
 		"cap on distinct observed queries kept for layout optimization (negative = unbounded)")
+
+	// Durable persistence (local mode): every acknowledged mutation is
+	// WAL-logged before it applies, and the index recovers from the
+	// newest valid snapshot + WAL on restart.
+	dataDir := flag.String("data-dir", "",
+		"durable state directory (snapshots + write-ahead log with crash recovery); local mode only")
+	walSync := flag.String("wal-sync", "always",
+		"WAL sync policy: 'always' fsyncs every mutation before acknowledging it, 'none' leaves flushing to the OS (flushed on graceful shutdown)")
+	snapshotEvery := flag.Int("snapshot-every", adindex.DefaultSnapshotEvery,
+		"rotate the WAL into a fresh snapshot after this many records (negative disables auto-rotation)")
+	allowPartialRecovery := flag.Bool("allow-partial-recovery", false,
+		"serve even when recovery fell back a snapshot generation or dropped WAL records; without it such recovery exits non-zero")
 
 	// Local-mode TCP serving: expose the index and/or ad metadata over the
 	// multiserver frame protocol so this process can back a -shards
@@ -101,6 +114,26 @@ func main() {
 		MaxInflight:      *maxInflight,
 		RequestTimeout:   *requestTimeout,
 		BackendLossGrace: *backendGrace,
+	}
+
+	if *dataDir != "" {
+		if *shards != "" {
+			log.Fatal("-data-dir is incompatible with -shards: a remote front-end holds no local index state")
+		}
+		runDurable(cfg, durableFlags{
+			dataDir:       *dataDir,
+			walSync:       *walSync,
+			snapshotEvery: *snapshotEvery,
+			allowPartial:  *allowPartialRecovery,
+			corpusPath:    *corpusPath,
+			mappingPath:   *mappingPath,
+			addr:          *addr,
+			tcpIndex:      *tcpIndex,
+			tcpAd:         *tcpAd,
+			maxWords:      *maxWords,
+			maxObserved:   *maxObserved,
+		})
+		return
 	}
 
 	var srv *server.Server
@@ -185,6 +218,155 @@ func main() {
 	// exit instead of a goroutine logging into the void.
 	if err := srv.Run(*addr); err != nil {
 		log.Fatal(err)
+	}
+}
+
+type durableFlags struct {
+	dataDir, walSync        string
+	snapshotEvery           int
+	allowPartial            bool
+	corpusPath, mappingPath string
+	addr, tcpIndex, tcpAd   string
+	maxWords, maxObserved   int
+}
+
+// runDurable is the durable-mode main loop: bind the port first (so
+// /healthz answers and /readyz reports "recovering" during a long WAL
+// replay), recover the index from -data-dir, refuse degraded recovery
+// unless overridden, install the index, and serve until SIGTERM — after
+// which the drain flushes the WAL before exit.
+func runDurable(cfg server.Config, df durableFlags) {
+	var syncMode durable.SyncMode
+	switch df.walSync {
+	case "always":
+		syncMode = durable.SyncAlways
+	case "none":
+		syncMode = durable.SyncNone
+	default:
+		log.Fatalf("-wal-sync must be 'always' or 'none', got %q", df.walSync)
+	}
+
+	// Preflight the recovery read-only: opening the store truncates torn
+	// tails and removes files past a corrupt frame, so the degraded-state
+	// refusal must happen BEFORE any of that — the refusal then holds
+	// across restarts and leaves the evidence intact for adfsck.
+	if !df.allowPartial {
+		plan, err := durable.Plan(nil, df.dataDir)
+		if err != nil {
+			log.Fatalf("durable preflight failed: %v (inspect with adfsck %s)", err, df.dataDir)
+		}
+		if plan.Degraded() {
+			log.Printf("recovery would be DEGRADED: %d snapshot generation(s) skipped %v, %d WAL bytes dropped, %d WAL file(s) discarded",
+				plan.SnapshotsSkipped, plan.SkipReasons, plan.DroppedBytes, plan.DroppedWALFiles)
+			if plan.TornDetail != "" {
+				log.Printf("first bad WAL frame: %s", plan.TornDetail)
+			}
+			log.Printf("refusing to serve partially recovered state (directory untouched); rerun with -allow-partial-recovery to accept the loss, or inspect with adfsck %s", df.dataDir)
+			os.Exit(1)
+		}
+	}
+
+	srv := server.NewRecovering(cfg)
+	if err := srv.Start(df.addr); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("listening on http://%s (recovering durable state from %s)", srv.Addr(), df.dataDir)
+
+	// -corpus seeds a FRESH directory only; once the directory holds
+	// state, disk wins and the flag is ignored (logged below).
+	var bootstrap []adindex.Ad
+	if df.corpusPath != "" {
+		f, err := os.Open(df.corpusPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		c, err := corpus.Read(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		bootstrap = c.Ads
+	}
+
+	ix, report, err := adindex.OpenDurable(df.dataDir, adindex.Options{
+		MaxWords:           df.maxWords,
+		MaxObservedQueries: df.maxObserved,
+	}, adindex.DurableConfig{
+		Sync:          syncMode,
+		SnapshotEvery: df.snapshotEvery,
+		Bootstrap:     bootstrap,
+	})
+	if err != nil {
+		log.Fatalf("durable recovery failed: %v", err)
+	}
+	defer ix.Close()
+
+	switch {
+	case report.Fresh && len(bootstrap) > 0:
+		log.Printf("initialized %s from %s (%d ads, snapshot gen %d)",
+			df.dataDir, df.corpusPath, len(bootstrap), 1)
+	case report.Fresh:
+		log.Printf("initialized empty durable state in %s", df.dataDir)
+	default:
+		log.Printf("recovered gen %d: %d snapshot ads + %d WAL records replayed (%d WAL files)",
+			report.SnapshotGen, report.SnapshotAds, report.RecordsReplayed, report.WALFiles)
+		if df.corpusPath != "" {
+			log.Printf("-corpus %s ignored: %s already holds state (disk wins over flags)",
+				df.corpusPath, df.dataDir)
+		}
+	}
+	if report.Torn {
+		log.Printf("WAL tail was torn or corrupt: %s (%d bytes dropped)", report.TornDetail, report.DroppedBytes)
+	}
+	if report.Degraded() {
+		log.Printf("recovery is DEGRADED: %d snapshot generation(s) skipped %v, %d WAL bytes dropped, %d WAL file(s) discarded",
+			report.SnapshotsSkipped, report.SkipReasons, report.DroppedBytes, report.DroppedWALFiles)
+		if !df.allowPartial {
+			log.Printf("refusing to serve partially recovered state; rerun with -allow-partial-recovery to accept the loss, or inspect with adfsck %s", df.dataDir)
+			os.Exit(1)
+		}
+		log.Printf("continuing under -allow-partial-recovery")
+	}
+
+	if df.mappingPath != "" {
+		mf, err := os.Open(df.mappingPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := ix.ApplyMapping(mf); err != nil {
+			log.Fatalf("applying mapping: %v", err)
+		}
+		mf.Close()
+		log.Printf("applied offline mapping from %s", df.mappingPath)
+	}
+
+	st := ix.Stats()
+	log.Printf("index ready: %d ads, %d nodes, %d distinct sets",
+		st.NumAds, st.NumNodes, st.DistinctSets)
+	srv.InstallIndex(ix, report)
+
+	if df.tcpIndex != "" {
+		ts, err := multiserver.NewIndexServer(df.tcpIndex, multiserver.ServeOpts{}, indexBackend{ix})
+		if err != nil {
+			log.Fatalf("tcp index server: %v", err)
+		}
+		defer ts.Close()
+		log.Printf("serving TCP index protocol on %s", ts.Addr())
+	}
+	if df.tcpAd != "" {
+		as, err := multiserver.NewAdServer(df.tcpAd, multiserver.ServeOpts{}, ix.Ads())
+		if err != nil {
+			log.Fatalf("tcp ad server: %v", err)
+		}
+		defer as.Close()
+		log.Printf("serving TCP ad-metadata protocol on %s", as.Addr())
+	}
+
+	if err := srv.AwaitShutdown(); err != nil {
+		log.Fatal(err)
+	}
+	if err := ix.Close(); err != nil {
+		log.Fatalf("closing durable store: %v", err)
 	}
 }
 

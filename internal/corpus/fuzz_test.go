@@ -1,0 +1,98 @@
+package corpus
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// FuzzReadAds checks the round-trip property of the text corpus format:
+// any input Read accepts must survive Write → Read unchanged. Read's
+// validation (field counts, character restrictions) exists precisely to
+// make this hold for arbitrary bytes, so the fuzzer hunts for inputs
+// that parse but then mis-serialize or re-parse differently.
+func FuzzReadAds(f *testing.F) {
+	// A generated corpus exercises the realistic shape of the format.
+	var gen bytes.Buffer
+	if err := Generate(GenOptions{NumAds: 20, Seed: 7}).Write(&gen); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(gen.Bytes())
+	f.Add([]byte("1\t2\t3\t4\t\tcheap flights\n"))
+	f.Add([]byte("1\t2\t3\t4\tused,refurb\tlaptop deals\n"))
+	f.Add([]byte("9\t0\t-5\t65535\t\t\n"))     // empty phrase, negative bid
+	f.Add([]byte("\n\n1\t2\t3\t4\t\tx\n\n"))   // blank lines are skipped
+	f.Add([]byte("1\t2\t3\t4\t\ta\tb\n"))      // extra tab: must be rejected
+	f.Add([]byte("1\t2\t3\t4\t,,\tx\n"))       // empty exclusions: rejected
+	f.Add([]byte("1\t2\t3\t4\t\tcr here\r\n")) // trailing CR: rejected
+	f.Add([]byte("18446744073709551615\t4294967295\t9223372036854775807\t65535\te\tmax values\n"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return // rejected inputs are out of scope; only accepted ones must round-trip
+		}
+		var buf bytes.Buffer
+		if err := c.Write(&buf); err != nil {
+			t.Fatalf("Read accepted input that Write rejects: %v\ninput: %q", err, data)
+		}
+		c2, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("re-Read of Write output failed: %v\nserialized: %q", err, buf.String())
+		}
+		if !reflect.DeepEqual(c.Ads, c2.Ads) {
+			t.Fatalf("round-trip mismatch:\n first: %+v\nsecond: %+v\ninput: %q", c.Ads, c2.Ads, data)
+		}
+	})
+}
+
+// TestReadRejectsMisSplit pins the silent mis-split fix: a line with an
+// extra tab used to fold the surplus into the phrase field.
+func TestReadRejectsMisSplit(t *testing.T) {
+	_, err := Read(strings.NewReader("1\t2\t3\t4\t\tcheap\tflights\n"))
+	if err == nil {
+		t.Fatal("line with 7 fields parsed without error")
+	}
+	if !strings.Contains(err.Error(), "line 1") || !strings.Contains(err.Error(), "got 7") {
+		t.Fatalf("error missing 1-based line number or field count: %v", err)
+	}
+}
+
+// TestReadLineNumbersAreOneBased checks errors on later lines report the
+// right line.
+func TestReadLineNumbersAreOneBased(t *testing.T) {
+	in := "1\t2\t3\t4\t\tfine\n2\t2\t3\t4\t\talso fine\nbogus\n"
+	_, err := Read(strings.NewReader(in))
+	if err == nil || !strings.Contains(err.Error(), "line 3") {
+		t.Fatalf("want error naming line 3, got: %v", err)
+	}
+}
+
+// TestWriteRejectsUnserializable checks Write fails fast on ads that
+// could not round-trip, naming the offending ad.
+func TestWriteRejectsUnserializable(t *testing.T) {
+	cases := []struct {
+		name string
+		ad   Ad
+	}{
+		{"tab in phrase", NewAd(7, "cheap\tflights", Meta{})},
+		{"newline in phrase", NewAd(7, "cheap\nflights", Meta{})},
+		{"cr in phrase", NewAd(7, "cheap flights\r", Meta{})},
+		{"comma in exclusion", NewAd(7, "ok", Meta{Exclusions: []string{"a,b"}})},
+		{"empty exclusion", NewAd(7, "ok", Meta{Exclusions: []string{""}})},
+		{"tab in exclusion", NewAd(7, "ok", Meta{Exclusions: []string{"a\tb"}})},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := &Corpus{Ads: []Ad{tc.ad}}
+			err := c.Write(&bytes.Buffer{})
+			if err == nil {
+				t.Fatal("Write accepted an unserializable ad")
+			}
+			if !strings.Contains(err.Error(), "ad 7") {
+				t.Fatalf("error does not name the ad: %v", err)
+			}
+		})
+	}
+}

@@ -15,11 +15,56 @@ import (
 // Human-inspectable, diff-friendly, and trivially streamable; used by
 // cmd/adgen and the examples.
 
-// Write serializes the corpus to w in the text format.
+// checkPhrase rejects characters that would corrupt the line/field
+// structure: a tab would shift every later field, a newline would split
+// the record, and a trailing carriage return would be silently eaten by
+// the line scanner on re-read.
+func checkPhrase(s string) error {
+	if strings.ContainsAny(s, "\t\n\r") {
+		return fmt.Errorf("contains tab, newline, or carriage return")
+	}
+	return nil
+}
+
+// checkExclusion additionally rejects the comma (the in-field list
+// separator) and the empty string (indistinguishable from "no
+// exclusions" after a round-trip).
+func checkExclusion(s string) error {
+	if err := checkPhrase(s); err != nil {
+		return err
+	}
+	if strings.Contains(s, ",") {
+		return fmt.Errorf("contains a comma (the exclusion-list separator)")
+	}
+	if s == "" {
+		return fmt.Errorf("is empty")
+	}
+	return nil
+}
+
+func checkAd(a *Ad) error {
+	if err := checkPhrase(a.Phrase); err != nil {
+		return fmt.Errorf("phrase %q %v", a.Phrase, err)
+	}
+	for _, e := range a.Meta.Exclusions {
+		if err := checkExclusion(e); err != nil {
+			return fmt.Errorf("exclusion %q %v", e, err)
+		}
+	}
+	return nil
+}
+
+// Write serializes the corpus to w in the text format. Ads whose phrase
+// or exclusions would corrupt the format (embedded tabs, newlines,
+// carriage returns; commas or empty strings in exclusions) are rejected
+// up front — an error here is an ad that could not have round-tripped.
 func (c *Corpus) Write(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	for i := range c.Ads {
 		a := &c.Ads[i]
+		if err := checkAd(a); err != nil {
+			return fmt.Errorf("corpus: ad %d: %v", a.ID, err)
+		}
 		excl := strings.Join(a.Meta.Exclusions, ",")
 		if _, err := fmt.Fprintf(bw, "%d\t%d\t%d\t%d\t%s\t%s\n",
 			a.ID, a.Meta.CampaignID, a.Meta.BidMicros, a.Meta.ClickRate, excl, a.Phrase); err != nil {
@@ -41,10 +86,12 @@ func Read(r io.Reader) (*Corpus, error) {
 		if line == "" {
 			continue
 		}
-		parts := strings.SplitN(line, "\t", 6)
-		if len(parts) != 6 {
-			return nil, fmt.Errorf("corpus: line %d: expected 6 tab-separated fields, got %d", lineNo, len(parts))
+		// Count tabs before splitting: SplitN(…, 6) would silently fold
+		// extra tabs into the phrase field, mis-splitting the record.
+		if n := strings.Count(line, "\t"); n != 5 {
+			return nil, fmt.Errorf("corpus: line %d: expected 6 tab-separated fields, got %d", lineNo, n+1)
 		}
+		parts := strings.SplitN(line, "\t", 6)
 		id, err := strconv.ParseUint(parts[0], 10, 64)
 		if err != nil {
 			return nil, fmt.Errorf("corpus: line %d: bad id: %v", lineNo, err)
@@ -66,7 +113,14 @@ func Read(r io.Reader) (*Corpus, error) {
 			excl = strings.Split(parts[4], ",")
 		}
 		meta := Meta{CampaignID: uint32(camp), BidMicros: bid, ClickRate: uint16(ctr), Exclusions: excl}
-		c.Ads = append(c.Ads, NewAd(id, parts[5], meta))
+		ad := NewAd(id, parts[5], meta)
+		// Reject anything Write would refuse to emit (e.g. a stray
+		// carriage return mid-line, or an empty exclusion from ",,"), so
+		// every corpus Read accepts is guaranteed to round-trip.
+		if err := checkAd(&ad); err != nil {
+			return nil, fmt.Errorf("corpus: line %d: %v", lineNo, err)
+		}
+		c.Ads = append(c.Ads, ad)
 	}
 	if err := sc.Err(); err != nil {
 		return nil, fmt.Errorf("corpus: read: %w", err)

@@ -1,0 +1,158 @@
+// Package durable is the crash-safe persistence subsystem for the ad
+// index: a checksummed, versioned binary snapshot format for the full
+// index state (ads, the optimized Section-V node mapping, and the
+// mutation epoch) written atomically, plus a framed write-ahead log of
+// Insert/Delete records fsync'd per batch and rotated after each
+// snapshot. Recovery loads the newest snapshot generation that passes
+// verification, falls back to earlier generations when the newest is
+// corrupt, and replays the WAL chain stopping at the first bad frame
+// (a torn tail from a crash mid-write loses only unsynced records).
+//
+// All filesystem access goes through the FS seam so tests can inject
+// deterministic disk faults (internal/diskfault) — the filesystem twin
+// of internal/faultnet.
+package durable
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// FS is the filesystem seam used by the store. The production
+// implementation is OSFS; internal/diskfault wraps any FS with
+// deterministic fault injection (torn writes, bit flips, fsync errors,
+// crash-at-step schedules).
+type FS interface {
+	// MkdirAll creates dir and any missing parents.
+	MkdirAll(dir string, perm os.FileMode) error
+	// Open opens name read-only.
+	Open(name string) (File, error)
+	// Create opens name for writing, truncating any existing content.
+	Create(name string) (File, error)
+	// OpenAppend opens name for appending, creating it if absent.
+	OpenAppend(name string) (File, error)
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes name.
+	Remove(name string) error
+	// Truncate shortens name to size bytes.
+	Truncate(name string, size int64) error
+	// ReadDir lists the names of dir's entries.
+	ReadDir(dir string) ([]string, error)
+	// SyncDir fsyncs the directory itself, making renames and file
+	// creations durable.
+	SyncDir(dir string) error
+}
+
+// File is the handle abstraction for FS.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	// Sync flushes the file's data to stable storage.
+	Sync() error
+}
+
+// OSFS is the production FS backed by the os package.
+type OSFS struct{}
+
+// MkdirAll implements FS.
+func (OSFS) MkdirAll(dir string, perm os.FileMode) error { return os.MkdirAll(dir, perm) }
+
+// Open implements FS.
+func (OSFS) Open(name string) (File, error) { return os.Open(name) }
+
+// Create implements FS.
+func (OSFS) Create(name string) (File, error) {
+	return os.OpenFile(name, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+}
+
+// OpenAppend implements FS.
+func (OSFS) OpenAppend(name string) (File, error) {
+	return os.OpenFile(name, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+}
+
+// Rename implements FS.
+func (OSFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+// Remove implements FS.
+func (OSFS) Remove(name string) error { return os.Remove(name) }
+
+// Truncate implements FS.
+func (OSFS) Truncate(name string, size int64) error { return os.Truncate(name, size) }
+
+// ReadDir implements FS.
+func (OSFS) ReadDir(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, len(ents))
+	for i, e := range ents {
+		names[i] = e.Name()
+	}
+	return names, nil
+}
+
+// SyncDir implements FS.
+func (OSFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// File naming: one snapshot and one WAL per generation. wal-G holds the
+// mutations applied after snapshot G was captured; generation 0 is the
+// implicit empty snapshot of a fresh store (no snap-0 file exists).
+const (
+	snapSuffix = ".snap"
+	walSuffix  = ".wal"
+	tmpSuffix  = ".tmp"
+)
+
+func snapName(gen uint64) string { return fmt.Sprintf("snap-%016x%s", gen, snapSuffix) }
+func walName(gen uint64) string  { return fmt.Sprintf("wal-%016x%s", gen, walSuffix) }
+
+// parseGen extracts the generation from a snap-/wal- file name, reporting
+// whether name is such a file.
+func parseGen(name, prefix, suffix string) (uint64, bool) {
+	var gen uint64
+	pat := prefix + "%016x" + suffix
+	if n, err := fmt.Sscanf(name, pat, &gen); n == 1 && err == nil && name == fmt.Sprintf(pat, gen) {
+		return gen, true
+	}
+	return 0, false
+}
+
+// listGens scans dir and returns sorted (ascending) snapshot and WAL
+// generations plus any leftover temp files.
+func listGens(fsys FS, dir string) (snaps, wals []uint64, tmps []string, err error) {
+	names, err := fsys.ReadDir(dir)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	for _, name := range names {
+		switch {
+		case filepath.Ext(name) == tmpSuffix:
+			tmps = append(tmps, name)
+		default:
+			if g, ok := parseGen(name, "snap-", snapSuffix); ok {
+				snaps = append(snaps, g)
+			} else if g, ok := parseGen(name, "wal-", walSuffix); ok {
+				wals = append(wals, g)
+			}
+		}
+	}
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i] < snaps[j] })
+	sort.Slice(wals, func(i, j int) bool { return wals[i] < wals[j] })
+	return snaps, wals, tmps, nil
+}

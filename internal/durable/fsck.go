@@ -1,0 +1,155 @@
+package durable
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"path/filepath"
+)
+
+// FsckFile is the verification result for one on-disk artifact.
+type FsckFile struct {
+	Name  string     `json:"name"`
+	Gen   uint64     `json:"gen"`
+	Class Corruption `json:"-"`
+	// Status is Class.String(), for JSON output.
+	Status string `json:"status"`
+	Detail string `json:"detail,omitempty"`
+	// Ads is the ad count (snapshots only).
+	Ads int `json:"ads,omitempty"`
+	// Epoch is the recorded mutation epoch (snapshots only).
+	Epoch uint64 `json:"epoch,omitempty"`
+	// Records is the valid record count (WALs only).
+	Records int `json:"records,omitempty"`
+	// ValidBytes / TotalBytes describe the valid frame prefix (WALs only);
+	// repair truncates to ValidBytes.
+	ValidBytes int64 `json:"valid_bytes,omitempty"`
+	TotalBytes int64 `json:"total_bytes,omitempty"`
+}
+
+// FsckReport is the full verification result for a state directory.
+type FsckReport struct {
+	Dir       string     `json:"dir"`
+	Snapshots []FsckFile `json:"snapshots"`
+	WALs      []FsckFile `json:"wals"`
+	// TmpFiles are leftover temp files from an interrupted snapshot write
+	// (harmless; repair removes them).
+	TmpFiles []string `json:"tmp_files,omitempty"`
+	// Empty reports a directory with no durable state at all.
+	Empty bool `json:"empty"`
+}
+
+// Worst returns the highest-priority problem in the directory: the
+// newest snapshot's corruption first (it is what recovery would want to
+// load), otherwise the newest problematic WAL's. CorruptNone means the
+// directory is fully consistent.
+func (r *FsckReport) Worst() (Corruption, string) {
+	for i := len(r.Snapshots) - 1; i >= 0; i-- {
+		if f := r.Snapshots[i]; f.Class != CorruptNone {
+			return f.Class, fmt.Sprintf("%s: %s", f.Name, f.Detail)
+		}
+	}
+	for i := len(r.WALs) - 1; i >= 0; i-- {
+		if f := r.WALs[i]; f.Class != CorruptNone {
+			return f.Class, fmt.Sprintf("%s: %s", f.Name, f.Detail)
+		}
+	}
+	return CorruptNone, ""
+}
+
+// Fsck verifies every snapshot and WAL in dir without modifying
+// anything. The returned report is complete even when artifacts are
+// corrupt; only I/O errors (unreadable directory) fail the call.
+func Fsck(fsys FS, dir string) (*FsckReport, error) {
+	if fsys == nil {
+		fsys = OSFS{}
+	}
+	snaps, wals, tmps, err := listGens(fsys, dir)
+	if err != nil {
+		return nil, fmt.Errorf("durable: fsck %s: %w", dir, err)
+	}
+	rep := &FsckReport{Dir: dir, TmpFiles: tmps, Empty: len(snaps) == 0 && len(wals) == 0 && len(tmps) == 0}
+	for _, g := range snaps {
+		f := FsckFile{Name: snapName(g), Gen: g}
+		st, err := loadSnapshot(fsys, dir, g)
+		if err != nil {
+			var ce *CorruptError
+			if errors.As(err, &ce) {
+				f.Class, f.Detail = ce.Class, ce.Detail
+			} else if errors.Is(err, fs.ErrNotExist) {
+				continue
+			} else {
+				return nil, err
+			}
+		} else {
+			f.Ads, f.Epoch = len(st.Ads), st.Epoch
+		}
+		f.Status = f.Class.String()
+		rep.Snapshots = append(rep.Snapshots, f)
+	}
+	for _, g := range wals {
+		f := FsckFile{Name: walName(g), Gen: g}
+		scan, err := readWAL(fsys, dir, g)
+		if err != nil {
+			if errors.Is(err, fs.ErrNotExist) {
+				continue
+			}
+			return nil, err
+		}
+		f.Class, f.Detail = scan.class, scan.detail
+		f.Records = len(scan.records)
+		f.ValidBytes, f.TotalBytes = scan.validBytes, scan.totalBytes
+		f.Status = f.Class.String()
+		rep.WALs = append(rep.WALs, f)
+	}
+	return rep, nil
+}
+
+// RepairResult describes what Repair changed.
+type RepairResult struct {
+	// TruncatedWALs lists WALs cut back to their valid frame prefix.
+	TruncatedWALs []string `json:"truncated_wals,omitempty"`
+	// TruncatedBytes is the total tail bytes removed.
+	TruncatedBytes int64 `json:"truncated_bytes"`
+	// RemovedTmp lists deleted leftover temp files.
+	RemovedTmp []string `json:"removed_tmp,omitempty"`
+}
+
+// Repair performs the safe subset of fixes: truncating torn or corrupt
+// WAL tails to their last valid frame and deleting leftover temp files.
+// It never touches snapshots — a corrupt snapshot cannot be repaired,
+// only skipped by recovery's generation fallback — and never deletes
+// WAL files, since even a partially corrupt WAL's valid prefix carries
+// acknowledged mutations.
+func Repair(fsys FS, dir string) (*RepairResult, error) {
+	if fsys == nil {
+		fsys = OSFS{}
+	}
+	rep, err := Fsck(fsys, dir)
+	if err != nil {
+		return nil, err
+	}
+	res := &RepairResult{}
+	for _, w := range rep.WALs {
+		if w.Class == CorruptNone {
+			continue
+		}
+		if err := fsys.Truncate(filepath.Join(dir, w.Name), w.ValidBytes); err != nil {
+			return res, fmt.Errorf("durable: repair truncate %s: %w", w.Name, err)
+		}
+		res.TruncatedWALs = append(res.TruncatedWALs, w.Name)
+		res.TruncatedBytes += w.TotalBytes - w.ValidBytes
+	}
+	for _, tmp := range rep.TmpFiles {
+		if err := fsys.Remove(filepath.Join(dir, tmp)); err != nil {
+			return res, fmt.Errorf("durable: repair remove %s: %w", tmp, err)
+		}
+		res.RemovedTmp = append(res.RemovedTmp, tmp)
+	}
+	if len(res.TruncatedWALs) > 0 || len(res.RemovedTmp) > 0 {
+		if err := fsys.SyncDir(dir); err != nil {
+			return res, fmt.Errorf("durable: repair sync dir %s: %w", dir, err)
+		}
+	}
+	return res, nil
+}

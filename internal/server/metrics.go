@@ -9,6 +9,8 @@ package server
 import (
 	"sync/atomic"
 	"time"
+
+	"adindex/internal/durable"
 )
 
 // HistogramBucketMillis is the coarse bucket width, matching Figure 9 of
@@ -162,6 +164,9 @@ type Registry struct {
 	// BackendErrors counts remote-mode /search requests that failed
 	// outright because too few backends answered.
 	BackendErrors atomic.Uint64
+	// NotReady counts requests refused with 503 because durable recovery
+	// had not installed the index yet.
+	NotReady atomic.Uint64
 	// Latency is the end-to-end /search latency (queue wait + match +
 	// encode) for admitted requests.
 	Latency Histogram
@@ -198,11 +203,30 @@ type MetricsSnapshot struct {
 	Mutations     uint64            `json:"mutations"`
 	Degraded      uint64            `json:"degraded"`
 	BackendErrors uint64            `json:"backend_errors"`
+	NotReady      uint64            `json:"not_ready"`
 	Epoch         uint64            `json:"epoch"`
 	Latency       HistogramSnapshot `json:"latency"`
 	// Backends is present in remote mode only: the distributed client's
 	// retry/breaker/degradation counters and per-shard replica health.
 	Backends *BackendsSnapshot `json:"backends,omitempty"`
+	// Durability is present for durable (or recovering) local servers:
+	// the recovery report from startup plus live persistence counters.
+	Durability *DurabilitySnapshot `json:"durability,omitempty"`
+}
+
+// DurabilitySnapshot is the durability section of /metrics.
+type DurabilitySnapshot struct {
+	// Recovering is true while startup recovery has not installed the
+	// index yet (all other fields are empty in that state).
+	Recovering bool `json:"recovering,omitempty"`
+	// Recovery is the startup recovery report (what was loaded, what was
+	// salvaged, what was dropped).
+	Recovery *durable.RecoveryReport `json:"recovery,omitempty"`
+	// Store holds live persistence counters.
+	Store *durable.StoreStats `json:"store,omitempty"`
+	// PersistErr is the first persistence failure, if any; non-empty
+	// means the in-memory index is ahead of disk.
+	PersistErr string `json:"persist_err,omitempty"`
 }
 
 // Snapshot captures all counters (the cache section and the epoch are
@@ -219,6 +243,7 @@ func (r *Registry) Snapshot() MetricsSnapshot {
 	s.Mutations = r.Mutations.Load()
 	s.Degraded = r.Degraded.Load()
 	s.BackendErrors = r.BackendErrors.Load()
+	s.NotReady = r.NotReady.Load()
 	s.Latency = r.Latency.Snapshot()
 	return s
 }

@@ -37,6 +37,7 @@ import (
 	"time"
 
 	"adindex"
+	"adindex/internal/durable"
 	"adindex/internal/multiserver"
 	"adindex/internal/shard"
 	"adindex/internal/textnorm"
@@ -136,13 +137,23 @@ func (c Config) withDefaults() Config {
 // start with Start (or Run for signal-managed lifetime), stop with
 // Shutdown.
 type Server struct {
-	ix      *adindex.Index   // nil in remote mode
-	remote  *shard.NetClient // nil in local mode
-	cfg     Config
-	cache   *Cache
-	limiter *Limiter
-	metrics *Registry
-	httpSrv *http.Server
+	// localMode distinguishes a local-index server (even one still
+	// recovering, with no index installed yet) from a remote fan-out
+	// server. Immutable after construction.
+	localMode bool
+	// localIx is the local index; nil in remote mode and while a
+	// recovering server (NewRecovering) has not had InstallIndex called.
+	// Atomic because handlers race with InstallIndex.
+	localIx atomic.Pointer[adindex.Index]
+	// recovery is the durable recovery report installed alongside the
+	// index, surfaced in /metrics.
+	recovery atomic.Pointer[durable.RecoveryReport]
+	remote   *shard.NetClient // nil in local mode
+	cfg      Config
+	cache    *Cache
+	limiter  *Limiter
+	metrics  *Registry
+	httpSrv  *http.Server
 
 	lnMu     sync.Mutex
 	ln       net.Listener
@@ -160,6 +171,29 @@ func New(ix *adindex.Index, cfg Config) *Server {
 	return newServer(ix, nil, cfg)
 }
 
+// NewRecovering builds a local-mode serving layer with no index yet:
+// /healthz answers 200 and /readyz answers 503 "recovering" while the
+// durable state loads, so orchestrators see a live-but-not-ready process
+// instead of a connection refusal during a long WAL replay. Index-backed
+// endpoints answer 503 until InstallIndex.
+func NewRecovering(cfg Config) *Server {
+	return newServer(nil, nil, cfg)
+}
+
+// InstallIndex publishes a recovered index (and its recovery report) on
+// a server built with NewRecovering; /readyz flips to 200. Safe to call
+// while the server is already accepting requests.
+func (s *Server) InstallIndex(ix *adindex.Index, report *durable.RecoveryReport) {
+	if report != nil {
+		s.recovery.Store(report)
+	}
+	s.localIx.Store(ix)
+}
+
+// local returns the local index, or nil in remote mode / while
+// recovering.
+func (s *Server) local() *adindex.Index { return s.localIx.Load() }
+
 // NewRemote builds a serving layer that answers /search by fanning out to
 // a remote sharded deployment through nc instead of a local index. The
 // distributed client's fault tolerance surfaces here: degraded responses
@@ -176,13 +210,16 @@ func NewRemote(nc *shard.NetClient, cfg Config) *Server {
 func newServer(ix *adindex.Index, nc *shard.NetClient, cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		ix:       ix,
-		remote:   nc,
-		cfg:      cfg,
-		cache:    NewCache(cfg.CacheEntries, cfg.CacheShards),
-		limiter:  NewLimiter(cfg.MaxInflight, cfg.MaxQueue),
-		metrics:  &Registry{},
-		serveErr: make(chan error, 1),
+		localMode: nc == nil,
+		remote:    nc,
+		cfg:       cfg,
+		cache:     NewCache(cfg.CacheEntries, cfg.CacheShards),
+		limiter:   NewLimiter(cfg.MaxInflight, cfg.MaxQueue),
+		metrics:   &Registry{},
+		serveErr:  make(chan error, 1),
+	}
+	if ix != nil {
+		s.localIx.Store(ix)
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/search", s.handleSearch)
@@ -252,10 +289,22 @@ func (s *Server) Addr() string {
 
 // Shutdown gracefully stops the server: readiness flips to 503 (so load
 // balancers stop routing here), the listener closes, and in-flight
-// requests drain until done or ctx expires.
+// requests drain until done or ctx expires. After the drain, a durable
+// index's WAL is flushed to stable storage, so every mutation this
+// server acknowledged survives the process exit even under
+// durable.SyncNone.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.ready.Store(false)
-	return s.httpSrv.Shutdown(ctx)
+	err := s.httpSrv.Shutdown(ctx)
+	if ix := s.local(); ix != nil {
+		if serr := ix.SyncDurable(); serr != nil {
+			s.cfg.Logger.Printf("wal flush on shutdown: %v", serr)
+			if err == nil {
+				err = serr
+			}
+		}
+	}
+	return err
 }
 
 // Run starts the server on addr and blocks until SIGINT/SIGTERM or a
@@ -270,6 +319,21 @@ func (s *Server) Run(addr string) error {
 		return err
 	}
 	s.cfg.Logger.Printf("listening on http://%s", s.Addr())
+	return s.awaitShutdown(sigCtx)
+}
+
+// AwaitShutdown blocks until SIGINT/SIGTERM or a serve-loop failure,
+// then drains gracefully. It is Run for callers that Start the server
+// themselves — the durable cmd/adserve flow binds the port first (so
+// /healthz answers during a long recovery), installs the recovered
+// index, then parks here.
+func (s *Server) AwaitShutdown() error {
+	sigCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	return s.awaitShutdown(sigCtx)
+}
+
+func (s *Server) awaitShutdown(sigCtx context.Context) error {
 	select {
 	case err := <-s.serveErr:
 		return err
@@ -355,12 +419,17 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		s.searchRemote(w, q, matchType, start)
 		return
 	}
+	ix := s.local()
+	if ix == nil {
+		s.notReady(w)
+		return
+	}
 
-	s.ix.Observe(q)
+	ix.Observe(q)
 	// A View pins the epoch and the match results to the same snapshot:
 	// a cache entry can never pair an epoch with results computed against
 	// a different index state, so a stale result is never served.
-	view := s.ix.View()
+	view := ix.View()
 	key := cacheKey(matchType, q)
 	epoch := view.Epoch()
 	matches, hit := s.cache.Get(key, epoch)
@@ -469,13 +538,18 @@ func (s *Server) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
 	defer s.metrics.InFlight.Add(-1)
 	s.metrics.ReqBroad.Add(uint64(len(req.Queries)))
 
-	view := s.ix.View()
+	ix := s.local()
+	if ix == nil {
+		s.notReady(w)
+		return
+	}
+	view := ix.View()
 	epoch := view.Epoch()
 	results := make([]batchResult, len(req.Queries))
 	var missIdx []int
 	var missQueries []string
 	for i, q := range req.Queries {
-		s.ix.Observe(q)
+		ix.Observe(q)
 		if matches, hit := s.cache.Get(cacheKey("broad", q), epoch); hit {
 			results[i] = batchResult{Query: q, Matched: len(matches), Cached: true, Ads: matches}
 			continue
@@ -535,13 +609,28 @@ func (s *Server) searchRemote(w http.ResponseWriter, q, matchType string, start 
 	s.metrics.Latency.Observe(time.Since(start))
 }
 
-// requireLocal guards endpoints that need a local index.
-func (s *Server) requireLocal(w http.ResponseWriter) bool {
-	if s.ix == nil {
+// localIndex guards endpoints that need a local index, writing the
+// appropriate failure when there is none: 501 in remote mode, 503 while
+// a recovering server has not installed its index yet.
+func (s *Server) localIndex(w http.ResponseWriter) *adindex.Index {
+	if !s.localMode {
 		http.Error(w, "not supported in remote (distributed) mode", http.StatusNotImplemented)
-		return false
+		return nil
 	}
-	return true
+	ix := s.local()
+	if ix == nil {
+		s.notReady(w)
+		return nil
+	}
+	return ix
+}
+
+// notReady answers 503 while durable recovery is still loading the
+// index.
+func (s *Server) notReady(w http.ResponseWriter) {
+	s.metrics.NotReady.Add(1)
+	w.Header().Set("Retry-After", fmt.Sprintf("%d", int(s.cfg.RetryAfter.Round(time.Second)/time.Second)))
+	http.Error(w, "index recovering, retry later", http.StatusServiceUnavailable)
 }
 
 func (s *Server) shed(w http.ResponseWriter) {
@@ -556,7 +645,8 @@ type insertRequest struct {
 }
 
 func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
-	if !s.requireLocal(w) {
+	ix := s.localIndex(w)
+	if ix == nil {
 		return
 	}
 	if r.Method != http.MethodPost {
@@ -574,9 +664,9 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "insert requires non-zero id and non-empty phrase", http.StatusBadRequest)
 		return
 	}
-	s.ix.Insert(adindex.NewAd(req.ID, req.Phrase, req.Meta))
+	ix.Insert(adindex.NewAd(req.ID, req.Phrase, req.Meta))
 	s.metrics.Mutations.Add(1)
-	s.writeJSON(w, map[string]any{"ok": true, "epoch": s.ix.Epoch()})
+	s.writeJSON(w, map[string]any{"ok": true, "epoch": ix.Epoch()})
 }
 
 type deleteRequest struct {
@@ -585,7 +675,8 @@ type deleteRequest struct {
 }
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
-	if !s.requireLocal(w) {
+	ix := s.localIndex(w)
+	if ix == nil {
 		return
 	}
 	if r.Method != http.MethodPost {
@@ -598,23 +689,25 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "bad delete body: "+err.Error(), http.StatusBadRequest)
 		return
 	}
-	found := s.ix.Delete(req.ID, req.Phrase)
+	found := ix.Delete(req.ID, req.Phrase)
 	s.metrics.Mutations.Add(1)
-	s.writeJSON(w, map[string]any{"found": found, "epoch": s.ix.Epoch()})
+	s.writeJSON(w, map[string]any{"found": found, "epoch": ix.Epoch()})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	if !s.requireLocal(w) {
+	ix := s.localIndex(w)
+	if ix == nil {
 		return
 	}
-	s.writeJSON(w, s.ix.Stats())
+	s.writeJSON(w, ix.Stats())
 }
 
 func (s *Server) handleOptimize(w http.ResponseWriter, _ *http.Request) {
-	if !s.requireLocal(w) {
+	ix := s.localIndex(w)
+	if ix == nil {
 		return
 	}
-	report, err := s.ix.Optimize()
+	report, err := ix.Optimize()
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
@@ -626,8 +719,18 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	snap := s.metrics.Snapshot()
 	snap.Cache.Hits, snap.Cache.Misses, snap.Cache.Invalidations = s.cache.Stats()
 	snap.Cache.Entries = s.cache.Len()
-	if s.ix != nil {
-		snap.Epoch = s.ix.Epoch()
+	if ix := s.local(); ix != nil {
+		snap.Epoch = ix.Epoch()
+		if stats, ok := ix.DurableStats(); ok {
+			d := &DurabilitySnapshot{Store: &stats, Recovery: s.recovery.Load()}
+			if err := ix.PersistErr(); err != nil {
+				d.PersistErr = err.Error()
+			}
+			snap.Durability = d
+		}
+	} else if s.localMode {
+		// Recovering: no index yet, but surface that state explicitly.
+		snap.Durability = &DurabilitySnapshot{Recovering: true}
 	}
 	if s.remote != nil {
 		snap.Backends = &BackendsSnapshot{
@@ -646,6 +749,12 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	if !s.ready.Load() {
 		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	// Local mode: a recovering server is live but not ready until durable
+	// recovery installs the index.
+	if s.localMode && s.local() == nil {
+		http.Error(w, "recovering", http.StatusServiceUnavailable)
 		return
 	}
 	// Remote mode: sustained backend loss makes this front-end unready so
