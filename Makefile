@@ -5,16 +5,18 @@
 # multi-server harness, the fault-injection proxy, and the shard
 # failover client), a crash-recovery smoke (kill -9 a churning child,
 # recover, compare against the serial oracle; plus crash-at-every-write
-# snapshot atomicity), a short fuzz run over the corpus text format, and
-# a one-iteration benchmark smoke run. The race pass runs -short so the
+# snapshot atomicity), a seeded whole-stack simulation smoke under the
+# race detector, a short fuzz run over the corpus text format, and a
+# one-iteration benchmark smoke run. The race pass runs -short so the
 # heavyweight load comparison stays affordable under the detector and
 # the fault-injection latency schedules stay under ~2s.
 
 GO ?= go
 
-.PHONY: check vet build test race recovery-smoke fuzzsmoke benchsmoke bench clean
+.PHONY: check vet build test race recovery-smoke simsmoke soak cover \
+	fuzzsmoke benchsmoke bench clean
 
-check: vet build test race recovery-smoke fuzzsmoke benchsmoke
+check: vet build test race recovery-smoke simsmoke fuzzsmoke benchsmoke
 
 vet:
 	$(GO) vet ./...
@@ -35,6 +37,32 @@ race:
 recovery-smoke:
 	$(GO) test -race -run 'TestCrashRecoveryStress|TestSnapshotAtomicUnderCrash' \
 		-v . ./internal/diskfault
+
+# Seeded deterministic simulation smoke: a few fixed seeds through the
+# whole stack (in-memory, durable with torn-crash restarts, compressed
+# snapshots, sharded+replicated serving behind fault proxies) against
+# the brute-force oracle, under the race detector. Fully deterministic,
+# so it doubles as a regression gate for the seeds in
+# internal/sim/sim_test.go (see TESTING.md for the replay workflow).
+simsmoke:
+	$(GO) test -race -short -run 'TestSim' ./internal/sim
+
+# Longer randomized soak: more ops per schedule and a block of seeds
+# that rotates daily (seedbase = days since epoch), so successive days
+# explore fresh schedules while any day's failure stays reproducible
+# from the seed printed in the log. Override SOAK_OPS / SOAK_SEEDS /
+# SOAK_SEEDBASE to pin.
+SOAK_OPS ?= 3000
+SOAK_SEEDS ?= 8
+SOAK_SEEDBASE ?= $(shell expr $$(date +%s) / 86400)
+soak:
+	$(GO) test -run 'TestSim$$' -timeout 30m ./internal/sim \
+		-sim.ops=$(SOAK_OPS) -sim.seeds=$(SOAK_SEEDS) -sim.seedbase=$(SOAK_SEEDBASE) -v
+
+# Coverage over the full module; writes cover.out and prints the total.
+cover:
+	$(GO) test -coverprofile=cover.out -covermode=atomic ./...
+	$(GO) tool cover -func=cover.out | tail -1
 
 # Ten seconds of coverage-guided fuzzing over the corpus text format
 # round-trip property (Read ∘ Write = id on accepted inputs).

@@ -538,6 +538,14 @@ func (ix *Index) Ads() []Ad {
 	return ads
 }
 
+// CheckInvariants folds any pending overlay and verifies the structural
+// invariants of the resulting base index (node/locator consistency,
+// max_words bounds, placement reachability). Expensive; meant for tests
+// and the simulation harness, not production serving.
+func (ix *Index) CheckInvariants() error {
+	return ix.foldedBase().CheckInvariants()
+}
+
 // foldedBase folds any pending overlay and returns the resulting pure
 // base. Queries remain lock-free while it runs.
 func (ix *Index) foldedBase() *core.Index {

@@ -1,0 +1,208 @@
+package adindex
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+
+	"adindex/internal/corpus"
+)
+
+// Differential tests pinning the compressed B^sig/B^off snapshot against
+// the hash-table index it replaces: over randomized corpora the two must
+// return identical broad-match results for every query, across several
+// signature suffix widths. The corpora deliberately stress the spots
+// where the two code paths diverge structurally — exclusion metadata,
+// duplicate-folded word sets, and phrases at the max_words locator
+// boundary (where sets stop being fully indexable and locator selection
+// kicks in).
+
+const (
+	diffCorpora    = 30
+	diffMaxWords   = 4 // index MaxWords: phrases at/over this hit the locator boundary
+	diffNumQueries = 40
+)
+
+// diffCorpus builds one adversarial corpus: a mix of short phrases,
+// phrases with duplicated words, exact-boundary and over-boundary
+// phrases, and exclusion metadata; some ads are duplicates of earlier
+// ones under new IDs, and a slice of the corpus is deleted again so the
+// snapshot is taken over a folded base with tombstoned sets.
+func diffCorpus(seed int64) (*Index, []corpus.Ad, *rand.Rand) {
+	rng := rand.New(rand.NewSource(seed))
+	vocab := corpus.MakeVocabulary(30)
+	pick := func() string { return vocab[rng.Intn(len(vocab))] }
+
+	var ads []corpus.Ad
+	id := uint64(0)
+	add := func(phrase string, meta corpus.Meta) {
+		id++
+		ads = append(ads, corpus.NewAd(id, phrase, meta))
+	}
+
+	for i := 0; i < 40; i++ {
+		var toks []string
+		switch rng.Intn(4) {
+		case 0: // short phrase, 1-3 words
+			for n := 1 + rng.Intn(3); n > 0; n-- {
+				toks = append(toks, pick())
+			}
+		case 1: // duplicated-word phrase ("w w x" folds to {w_w, x})
+			w := pick()
+			toks = append(toks, w, w)
+			for n := rng.Intn(2); n > 0; n-- {
+				toks = append(toks, pick())
+			}
+		case 2: // exactly at the max_words locator boundary
+			for n := diffMaxWords; n > 0; n-- {
+				toks = append(toks, pick())
+			}
+		default: // 1-3 words over the boundary
+			for n := diffMaxWords + 1 + rng.Intn(3); n > 0; n-- {
+				toks = append(toks, pick())
+			}
+		}
+		meta := corpus.Meta{BidMicros: int64(1+rng.Intn(5)) * 1000}
+		if rng.Intn(3) == 0 {
+			meta.Exclusions = []string{pick()}
+		}
+		add(strings.Join(toks, " "), meta)
+	}
+	// Duplicate word sets under fresh IDs: identical phrase, different ad.
+	for i := 0; i < 6; i++ {
+		src := ads[rng.Intn(len(ads))]
+		add(src.Phrase, corpus.Meta{BidMicros: int64(1+rng.Intn(5)) * 1000})
+	}
+
+	ix := New(Options{MaxWords: diffMaxWords})
+	for _, ad := range ads {
+		ix.Insert(ad)
+	}
+	// Delete a slice so the snapshot folds over tombstones.
+	live := ads[:0:0]
+	for i := range ads {
+		if rng.Intn(6) == 0 {
+			ix.Delete(ads[i].ID, ads[i].Phrase)
+		} else {
+			live = append(live, ads[i])
+		}
+	}
+	return ix, live, rng
+}
+
+// diffQueries derives queries that hit the corpus: bid phrases verbatim
+// (including over-boundary and duplicated-word ones), widened phrases,
+// and random word soup.
+func diffQueries(ads []corpus.Ad, rng *rand.Rand) []string {
+	vocab := corpus.MakeVocabulary(30)
+	qs := make([]string, 0, diffNumQueries)
+	for len(qs) < diffNumQueries {
+		ad := ads[rng.Intn(len(ads))]
+		switch rng.Intn(3) {
+		case 0: // the bid phrase itself
+			qs = append(qs, ad.Phrase)
+		case 1: // widened: phrase plus 1-3 extra words
+			toks := strings.Fields(ad.Phrase)
+			for n := 1 + rng.Intn(3); n > 0; n-- {
+				toks = append(toks, vocab[rng.Intn(len(vocab))])
+			}
+			rng.Shuffle(len(toks), func(a, b int) { toks[a], toks[b] = toks[b], toks[a] })
+			qs = append(qs, strings.Join(toks, " "))
+		default: // random soup, 1-6 words
+			var toks []string
+			for n := 1 + rng.Intn(6); n > 0; n-- {
+				toks = append(toks, vocab[rng.Intn(len(vocab))])
+			}
+			qs = append(qs, strings.Join(toks, " "))
+		}
+	}
+	return qs
+}
+
+func sortAds(ads []Ad) {
+	sort.SliceStable(ads, func(i, j int) bool {
+		if ads[i].ID != ads[j].ID {
+			return ads[i].ID < ads[j].ID
+		}
+		return ads[i].SetKey() < ads[j].SetKey()
+	})
+}
+
+func TestDifferentialCompressedVsHash(t *testing.T) {
+	suffixWidths := []int{0, 4, 8, 12} // 0 = auto-select
+	for seed := int64(0); seed < diffCorpora; seed++ {
+		ix, live, rng := diffCorpus(seed)
+		queries := diffQueries(live, rng)
+		for _, bits := range suffixWidths {
+			snap, err := ix.Snapshot(bits)
+			if err != nil {
+				t.Fatalf("seed %d bits %d: Snapshot: %v", seed, bits, err)
+			}
+			for _, q := range queries {
+				want := ix.BroadMatch(q)
+				sortAds(want)
+				got, err := snap.BroadMatch(q)
+				if err != nil {
+					t.Fatalf("seed %d bits %d: compressed BroadMatch(%q): %v", seed, bits, q, err)
+				}
+				sortAds(got)
+				if len(want) == 0 && len(got) == 0 {
+					continue
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("seed %d bits %d: BroadMatch(%q) diverges:\ncompressed %v\nhash       %v",
+						seed, bits, q, summarize(got), summarize(want))
+				}
+				// Exclusion metadata must survive compression: the auction
+				// over both result sets picks identical winners.
+				selWant := SelectAds(q, want, Selection{})
+				selGot := SelectAds(q, got, Selection{})
+				if !reflect.DeepEqual(selGot, selWant) {
+					t.Fatalf("seed %d bits %d: auction over compressed results diverges for %q",
+						seed, bits, q)
+				}
+			}
+		}
+	}
+}
+
+// TestDifferentialCompressedExactMatch pins the exact-match path, which
+// in the compressed index is reconstructed by filtering broad-match
+// candidates rather than consulting a per-set directory.
+func TestDifferentialCompressedExactMatch(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		ix, live, _ := diffCorpus(seed + 1000)
+		snap, err := ix.Snapshot(0)
+		if err != nil {
+			t.Fatalf("seed %d: Snapshot: %v", seed, err)
+		}
+		for i := range live {
+			q := live[i].Phrase
+			want := ix.ExactMatch(q)
+			sortAds(want)
+			got, err := snap.ExactMatch(q)
+			if err != nil {
+				t.Fatalf("seed %d: compressed ExactMatch(%q): %v", seed, q, err)
+			}
+			sortAds(got)
+			if len(want) == 0 && len(got) == 0 {
+				continue
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("seed %d: ExactMatch(%q) diverges:\ncompressed %v\nhash       %v",
+					seed, q, summarize(got), summarize(want))
+			}
+		}
+	}
+}
+
+func summarize(ads []Ad) []string {
+	out := make([]string, len(ads))
+	for i := range ads {
+		out[i] = fmt.Sprintf("%d:%q", ads[i].ID, ads[i].Phrase)
+	}
+	return out
+}

@@ -1,0 +1,92 @@
+package costmodel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property checks on the cost model: the optimizer's correctness
+// arguments only require Cost_Scan to be positive and monotone, so those
+// two properties are verified over randomly drawn valid models rather
+// than one example model.
+
+// randomModel draws a valid model: positive Random, non-negative scan
+// parameters with at least one positive.
+func randomModel(rng *rand.Rand) Model {
+	m := Model{
+		Random:    0.5 + rng.Float64()*1000,
+		ScanByte:  rng.Float64() * 8,
+		ScanSetup: rng.Float64() * 64,
+	}
+	if m.ScanByte == 0 && m.ScanSetup == 0 {
+		m.ScanByte = 1
+	}
+	return m
+}
+
+func TestScanMonotoneProperty(t *testing.T) {
+	f := func(seed int64, a, b uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := randomModel(rng)
+		if m.Validate() != nil {
+			return false
+		}
+		lo, hi := int(a), int(b)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		// Monotone, non-negative, and consistent with NodeAccess.
+		return m.Scan(lo) <= m.Scan(hi) &&
+			m.Scan(lo) >= 0 &&
+			m.NodeAccess(hi) == m.Random+m.Scan(hi)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBreakEvenConsistentProperty: BreakEvenBytes is the crossover the
+// node-size bound relies on — scanning that many bytes costs at most one
+// random access, and one byte more costs at least as much (when scanning
+// has a per-byte cost at all).
+func TestBreakEvenConsistentProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := randomModel(rng)
+		if m.ScanByte <= 0 {
+			return true
+		}
+		be := m.BreakEvenBytes()
+		if be < 0 {
+			return false
+		}
+		if m.ScanSetup > m.Random {
+			// Scanning is never worth it; the threshold must clamp to 0.
+			return be == 0
+		}
+		return m.Scan(be) <= m.Random+1e-9 && m.Scan(be+1) >= m.Random-m.ScanByte-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCountersCostAdditiveProperty: Cost is linear in the counters, so
+// accumulating two runs and costing the sum equals costing them apart —
+// the property that lets experiments aggregate per-query counters.
+func TestCountersCostAdditiveProperty(t *testing.T) {
+	f := func(seed int64, r1, b1, n1, r2, b2, n2 uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := randomModel(rng)
+		c1 := Counters{RandomAccesses: int64(r1), BytesScanned: int64(b1), NodesVisited: int64(n1)}
+		c2 := Counters{RandomAccesses: int64(r2), BytesScanned: int64(b2), NodesVisited: int64(n2)}
+		sum := c1
+		sum.Add(c2)
+		return math.Abs(sum.Cost(m)-(c1.Cost(m)+c2.Cost(m))) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -67,6 +67,22 @@ func New(inner durable.FS, plan Plan) *Injector {
 	return &Injector{inner: inner, plan: plan, rng: rand.New(rand.NewSource(plan.Seed))}
 }
 
+// Arm replaces the injector's plan and resets its counters, crash flag,
+// and RNG (reseeded from plan.Seed). It lets one long-lived injector
+// stage successive fault scenarios against the same store — the
+// simulation harness arms a fresh crash plan before each simulated
+// crash-restart instead of rebuilding the FS stack.
+func (in *Injector) Arm(plan Plan) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.plan = plan
+	in.rng = rand.New(rand.NewSource(plan.Seed))
+	in.steps = 0
+	in.writes = 0
+	in.syncs = 0
+	in.crashed = false
+}
+
 // Steps returns how many mutating operations have been attempted.
 func (in *Injector) Steps() int {
 	in.mu.Lock()

@@ -43,6 +43,7 @@ type Breaker struct {
 	mu        sync.Mutex
 	threshold int
 	cooldown  time.Duration
+	now       func() time.Time
 	state     BreakerState
 	failures  int
 	openedAt  time.Time
@@ -50,16 +51,26 @@ type Breaker struct {
 	opens     uint64
 }
 
-// NewBreaker returns a closed breaker. threshold <= 0 selects 5;
-// cooldown <= 0 selects one second.
+// NewBreaker returns a closed breaker on the wall clock. threshold <= 0
+// selects 5; cooldown <= 0 selects one second.
 func NewBreaker(threshold int, cooldown time.Duration) *Breaker {
+	return NewBreakerAt(threshold, cooldown, nil)
+}
+
+// NewBreakerAt is NewBreaker with an injected clock; nil now selects
+// time.Now. Tests pass a simclock.Fake's Now so cooldown transitions are
+// driven by Advance instead of sleeping.
+func NewBreakerAt(threshold int, cooldown time.Duration, now func() time.Time) *Breaker {
 	if threshold <= 0 {
 		threshold = 5
 	}
 	if cooldown <= 0 {
 		cooldown = time.Second
 	}
-	return &Breaker{threshold: threshold, cooldown: cooldown}
+	if now == nil {
+		now = time.Now
+	}
+	return &Breaker{threshold: threshold, cooldown: cooldown, now: now}
 }
 
 // Allow reports whether a request may proceed. In the half-open state
@@ -71,7 +82,7 @@ func (b *Breaker) Allow() bool {
 	case BreakerClosed:
 		return true
 	case BreakerOpen:
-		if time.Since(b.openedAt) < b.cooldown {
+		if b.now().Sub(b.openedAt) < b.cooldown {
 			return false
 		}
 		b.state = BreakerHalfOpen
@@ -107,7 +118,7 @@ func (b *Breaker) Failure() {
 			b.opens++
 		}
 		b.state = BreakerOpen
-		b.openedAt = time.Now()
+		b.openedAt = b.now()
 		b.failures = 0
 	}
 }

@@ -3,6 +3,8 @@ package multiserver
 import (
 	"testing"
 	"time"
+
+	"adindex/internal/simclock"
 )
 
 func TestBreakerOpensAfterThreshold(t *testing.T) {
@@ -28,12 +30,17 @@ func TestBreakerOpensAfterThreshold(t *testing.T) {
 }
 
 func TestBreakerHalfOpenProbe(t *testing.T) {
-	b := NewBreaker(1, 30*time.Millisecond)
+	clk := simclock.NewFake()
+	b := NewBreakerAt(1, 30*time.Millisecond, clk.Now)
 	b.Failure()
 	if b.State() != BreakerOpen {
 		t.Fatal("threshold-1 breaker should open on first failure")
 	}
-	time.Sleep(40 * time.Millisecond)
+	clk.Advance(29 * time.Millisecond)
+	if b.Allow() {
+		t.Fatal("breaker admitted a request 1ms before cooldown elapsed")
+	}
+	clk.Advance(time.Millisecond)
 	// Cooldown elapsed: the next Allow admits a single probe.
 	if !b.Allow() {
 		t.Fatal("cooled-down breaker should admit a probe")
@@ -52,9 +59,10 @@ func TestBreakerHalfOpenProbe(t *testing.T) {
 }
 
 func TestBreakerHalfOpenFailureReopens(t *testing.T) {
-	b := NewBreaker(1, 20*time.Millisecond)
+	clk := simclock.NewFake()
+	b := NewBreakerAt(1, 20*time.Millisecond, clk.Now)
 	b.Failure()
-	time.Sleep(30 * time.Millisecond)
+	clk.Advance(20 * time.Millisecond)
 	if !b.Allow() {
 		t.Fatal("probe not admitted")
 	}
@@ -67,6 +75,16 @@ func TestBreakerHalfOpenFailureReopens(t *testing.T) {
 	}
 	if b.Allow() {
 		t.Fatal("re-opened breaker admitted a request immediately")
+	}
+	// The re-open stamped a fresh openedAt: a full new cooldown is
+	// required, not the remainder of the first one.
+	clk.Advance(19 * time.Millisecond)
+	if b.Allow() {
+		t.Fatal("re-opened breaker reused the previous cooldown window")
+	}
+	clk.Advance(time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("probe not admitted after the second cooldown")
 	}
 }
 

@@ -1,0 +1,109 @@
+package setcover
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// Properties of the greedy schedule itself, beyond the H_k bound checked
+// by TestGreedyBoundQuick: the per-element price paid by greedy never
+// decreases across steps, and the lazy-heap implementation agrees with a
+// naive reference that re-scores every set each round.
+
+// randomFeasibleInstance builds an instance with continuous random
+// weights (ties between ratios have probability ~0, which keeps the
+// lazy-vs-naive comparison deterministic) and singleton sets for
+// feasibility.
+func randomFeasibleInstance(rng *rand.Rand) *Instance {
+	n := 3 + rng.Intn(12)
+	m := n + rng.Intn(14)
+	sets := make([]Set, 0, m+n)
+	for i := 0; i < m; i++ {
+		size := 1 + rng.Intn(5)
+		elems := make([]int, size)
+		for j := range elems {
+			elems[j] = rng.Intn(n)
+		}
+		sets = append(sets, Set{ID: i, Elements: elems, Weight: 0.1 + rng.Float64()*9})
+	}
+	for e := 0; e < n; e++ {
+		sets = append(sets, Set{ID: m + e, Elements: []int{e}, Weight: 0.1 + rng.Float64()*9})
+	}
+	return &Instance{NumElements: n, Sets: sets}
+}
+
+// naiveGreedy is the textbook O(rounds·sets) reference: each round pick
+// the set minimizing weight per newly covered element (ties by index),
+// and record the winning ratio.
+func naiveGreedy(in *Instance) (chosen []int, ratios []float64) {
+	covered := make([]bool, in.NumElements)
+	remaining := in.NumElements
+	for remaining > 0 {
+		best, bestRatio := -1, math.Inf(1)
+		for i := range in.Sets {
+			n := uncoveredCount(in.Sets[i].Elements, covered)
+			if n == 0 {
+				continue
+			}
+			if r := in.Sets[i].Weight / float64(n); r < bestRatio {
+				best, bestRatio = i, r
+			}
+		}
+		if best < 0 {
+			return nil, nil
+		}
+		for _, e := range in.Sets[best].Elements {
+			if !covered[e] {
+				covered[e] = true
+				remaining--
+			}
+		}
+		chosen = append(chosen, best)
+		ratios = append(ratios, bestRatio)
+	}
+	return chosen, ratios
+}
+
+// TestGreedyStepPriceNeverDecreases checks the monotone-price lemma the
+// H_k analysis rests on: the per-newly-covered-element cost paid at step
+// t+1 is never below the price paid at step t (coverage only shrinks the
+// denominator of every remaining set).
+func TestGreedyStepPriceNeverDecreases(t *testing.T) {
+	for seed := int64(0); seed < 150; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		in := randomFeasibleInstance(rng)
+		_, ratios := naiveGreedy(in)
+		if ratios == nil {
+			t.Fatalf("seed %d: reference greedy failed to cover", seed)
+		}
+		for i := 1; i < len(ratios); i++ {
+			if ratios[i] < ratios[i-1]-1e-12 {
+				t.Fatalf("seed %d: greedy price decreased at step %d: %v -> %v",
+					seed, i, ratios[i-1], ratios[i])
+			}
+		}
+	}
+}
+
+// TestGreedyLazyMatchesNaive pins the lazy-heap implementation against
+// the naive reference: same cover weight on instances with continuous
+// weights (where ratio ties cannot make the two tie-break differently).
+func TestGreedyLazyMatchesNaive(t *testing.T) {
+	for seed := int64(0); seed < 150; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		in := randomFeasibleInstance(rng)
+		chosen, err := Greedy(in)
+		if err != nil {
+			t.Fatalf("seed %d: Greedy: %v", seed, err)
+		}
+		ref, _ := naiveGreedy(in)
+		if ref == nil {
+			t.Fatalf("seed %d: reference greedy failed to cover", seed)
+		}
+		got, want := in.TotalWeight(chosen), in.TotalWeight(ref)
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("seed %d: lazy greedy weight %v != naive greedy weight %v", seed, got, want)
+		}
+	}
+}

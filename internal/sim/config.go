@@ -1,0 +1,72 @@
+package sim
+
+import "adindex/internal/corpus"
+
+// Config selects the targets and tuning of one simulation run. It is
+// embedded in traces, so a replayed trace reconstructs the exact run.
+type Config struct {
+	// Seed drives schedule generation and every injected fault.
+	Seed int64 `json:"seed"`
+	// Gen tunes the schedule generator.
+	Gen GenOptions `json:"gen"`
+
+	// Durable adds the crash-restarted durable target (requires Dir).
+	Durable bool `json:"durable"`
+	// Net adds the sharded/replicated TCP target behind fault proxies.
+	Net bool `json:"net"`
+	// Shards and Replicas shape the networked deployment. Defaults 2, 2.
+	Shards   int `json:"shards"`
+	Replicas int `json:"replicas"`
+	// Dir is the scratch directory for the durable target's state (the
+	// caller owns cleanup; tests pass t.TempDir()). Not serialized: a
+	// replay supplies its own scratch directory.
+	Dir string `json:"-"`
+
+	// MaxWords is the index's locator-length bound. Default 4 — small,
+	// so generated phrases straddle the boundary.
+	MaxWords int `json:"max_words"`
+	// MaxDeltaAds bounds the mutation overlay. Default 16 — small, so
+	// folds happen constantly.
+	MaxDeltaAds int `json:"max_delta_ads"`
+	// SnapshotEvery is the durable target's WAL rotation threshold.
+	// Default 32 — small, so rotations interleave with crashes.
+	SnapshotEvery int `json:"snapshot_every"`
+	// SuffixBits sizes the compressed snapshot's signature suffix.
+	// Default 8.
+	SuffixBits int `json:"suffix_bits"`
+	// CheckEvery cross-checks full state (ad counts, epochs, structural
+	// invariants) every N ops. Default 25; negative disables.
+	CheckEvery int `json:"check_every"`
+
+	// mutateResults, when set, perturbs the plain target's OpQuery
+	// results before the oracle comparison. Test seam: shrinker and
+	// oracle tests inject a deliberate off-by-one here and assert it is
+	// caught and minimized.
+	mutateResults func([]corpus.Ad) []corpus.Ad
+}
+
+func (c Config) withDefaults() Config {
+	c.Gen = c.Gen.withDefaults()
+	if c.Shards == 0 {
+		c.Shards = 2
+	}
+	if c.Replicas == 0 {
+		c.Replicas = 2
+	}
+	if c.MaxWords == 0 {
+		c.MaxWords = 4
+	}
+	if c.MaxDeltaAds == 0 {
+		c.MaxDeltaAds = 16
+	}
+	if c.SnapshotEvery == 0 {
+		c.SnapshotEvery = 32
+	}
+	if c.SuffixBits == 0 {
+		c.SuffixBits = 8
+	}
+	if c.CheckEvery == 0 {
+		c.CheckEvery = 25
+	}
+	return c
+}

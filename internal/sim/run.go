@@ -1,0 +1,372 @@
+package sim
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"adindex"
+	"adindex/internal/corpus"
+	"adindex/internal/optimize"
+)
+
+// Failure is one oracle divergence (or in-run harness error): the op
+// that exposed it, the target that diverged, and a deterministic detail
+// string. Identical seeds produce identical Failures.
+type Failure struct {
+	OpIndex int    `json:"op_index"`
+	Target  string `json:"target"` // "plain", "auction", "durable", "compressed", "net", "state"
+	Detail  string `json:"detail"`
+}
+
+func (f *Failure) Error() string {
+	return fmt.Sprintf("op %d (%s): %s", f.OpIndex, f.Target, f.Detail)
+}
+
+// Result is the outcome of one run.
+type Result struct {
+	Schedule Schedule
+	Checks   int // oracle comparisons performed
+	Failure  *Failure
+}
+
+// Verdict is the one-line deterministic outcome (identical across runs
+// of the same seed — the determinism tests compare it byte-for-byte).
+func (r *Result) Verdict() string {
+	if r.Failure == nil {
+		return fmt.Sprintf("pass: %d ops, %d checks", len(r.Schedule.Ops), r.Checks)
+	}
+	return "FAIL at " + r.Failure.Error()
+}
+
+// Run generates the schedule for cfg and executes it.
+func Run(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	return RunSchedule(cfg, Generate(cfg))
+}
+
+// RunSchedule executes sched against every target cfg enables, checking
+// each query against the oracle. The returned error is a harness setup
+// problem (e.g. a listen failure); divergences land in Result.Failure.
+func RunSchedule(cfg Config, sched Schedule) (*Result, error) {
+	cfg = cfg.withDefaults()
+	r := &runner{cfg: cfg}
+	r.plain = adindex.New(indexOptions(cfg))
+	if cfg.Durable {
+		d, err := newDurTarget(cfg)
+		if err != nil {
+			return nil, err
+		}
+		r.dur = d
+		defer d.close()
+	}
+	if cfg.Net {
+		n, err := newNetTarget(cfg)
+		if err != nil {
+			return nil, err
+		}
+		r.net = n
+		defer n.close()
+	}
+
+	res := &Result{Schedule: sched}
+	for i := range sched.Ops {
+		if f := r.apply(i, &sched.Ops[i]); f != nil {
+			res.Failure = f
+			break
+		}
+		if cfg.CheckEvery > 0 && (i+1)%cfg.CheckEvery == 0 {
+			if f := r.checkState(i); f != nil {
+				res.Failure = f
+				break
+			}
+		}
+	}
+	if res.Failure == nil && len(sched.Ops) > 0 {
+		res.Failure = r.checkState(len(sched.Ops) - 1)
+	}
+	res.Checks = r.checks
+	return res, nil
+}
+
+type runner struct {
+	cfg    Config
+	oracle model
+	plain  *adindex.Index
+	dur    *durTarget
+	net    *netTarget
+	checks int
+}
+
+func (r *runner) apply(i int, op *Op) *Failure {
+	fail := func(target, format string, args ...interface{}) *Failure {
+		return &Failure{OpIndex: i, Target: target, Detail: fmt.Sprintf(format, args...)}
+	}
+	switch op.Kind {
+	case OpInsert:
+		if op.Ad == nil {
+			return nil
+		}
+		r.oracle.insert(*op.Ad)
+		r.plain.Insert(*op.Ad)
+		if r.dur != nil {
+			r.dur.ix.Insert(*op.Ad)
+		}
+		if r.net != nil {
+			r.net.insert(*op.Ad)
+		}
+	case OpDelete:
+		want := r.oracle.remove(op.ID, op.Phrase)
+		if got := r.plain.Delete(op.ID, op.Phrase); got != want {
+			return fail("plain", "Delete(%d, %q) = %v, oracle says %v", op.ID, op.Phrase, got, want)
+		}
+		if r.dur != nil {
+			if got := r.dur.ix.Delete(op.ID, op.Phrase); got != want {
+				return fail("durable", "Delete(%d, %q) = %v, oracle says %v", op.ID, op.Phrase, got, want)
+			}
+		}
+		if r.net != nil {
+			got, split := r.net.delete(op.ID, op.Phrase)
+			if split {
+				return fail("net", "replicas disagree on Delete(%d, %q)", op.ID, op.Phrase)
+			}
+			if got != want {
+				return fail("net", "Delete(%d, %q) = %v, oracle says %v", op.ID, op.Phrase, got, want)
+			}
+		}
+		r.checks++
+	case OpQuery:
+		return r.checkQuery(i, op.Query)
+	case OpBatch:
+		results := r.plain.BroadMatchBatch(op.Queries)
+		for qi, q := range op.Queries {
+			got := append([]corpus.Ad(nil), results[qi]...)
+			sortAdsByID(got)
+			if d := diffAds(got, r.oracle.broadMatch(q)); d != "" {
+				return fail("plain", "batch query %q: %s", q, d)
+			}
+			r.checks++
+		}
+	case OpObserve:
+		r.plain.Observe(op.Query)
+		if r.dur != nil {
+			r.dur.ix.Observe(op.Query)
+		}
+	case OpOptimize:
+		if _, err := r.plain.Optimize(); err != nil {
+			return fail("plain", "Optimize: %v", err)
+		}
+		if r.dur != nil {
+			if _, err := r.dur.ix.Optimize(); err != nil {
+				return fail("durable", "Optimize: %v", err)
+			}
+		}
+	case OpApplyMapping:
+		var buf bytes.Buffer
+		if err := optimize.WriteMapping(&buf, r.oracle.mapping()); err != nil {
+			return fail("state", "WriteMapping: %v", err)
+		}
+		if err := r.plain.ApplyMapping(bytes.NewReader(buf.Bytes())); err != nil {
+			return fail("plain", "ApplyMapping: %v", err)
+		}
+		if r.dur != nil {
+			if err := r.dur.ix.ApplyMapping(bytes.NewReader(buf.Bytes())); err != nil {
+				return fail("durable", "ApplyMapping: %v", err)
+			}
+		}
+	case OpPersist:
+		if r.dur != nil {
+			if err := r.dur.ix.Persist(); err != nil {
+				return fail("durable", "Persist: %v", err)
+			}
+		}
+	case OpCrash:
+		if r.dur == nil {
+			return nil
+		}
+		if err := r.dur.crash(i, op.Torn); err != nil {
+			return fail("durable", "crash-restart (torn=%v): %v", op.Torn, err)
+		}
+		return r.checkDurableState(i, "post-recovery")
+	case OpKill:
+		if r.net != nil {
+			r.net.kill(op.Replica)
+		}
+	case OpHeal:
+		if r.net != nil {
+			r.net.heal(op.Replica)
+		}
+	case OpCompressed:
+		snap, err := r.plain.Snapshot(r.cfg.SuffixBits)
+		if err != nil {
+			return fail("compressed", "Snapshot(%d): %v", r.cfg.SuffixBits, err)
+		}
+		for _, q := range op.Queries {
+			got, err := snap.BroadMatch(q)
+			if err != nil {
+				return fail("compressed", "BroadMatch(%q): %v", q, err)
+			}
+			sortAdsByID(got)
+			if d := diffAds(got, r.oracle.broadMatch(q)); d != "" {
+				return fail("compressed", "query %q: %s", q, d)
+			}
+			r.checks++
+		}
+	}
+	return nil
+}
+
+// checkQuery runs one query on every target and compares against the
+// oracle: full deep-equal ads on the single-node targets, the auction
+// differential on the plain results, and the ID multiset on the wire.
+func (r *runner) checkQuery(i int, q string) *Failure {
+	fail := func(target, format string, args ...interface{}) *Failure {
+		return &Failure{OpIndex: i, Target: target, Detail: fmt.Sprintf(format, args...)}
+	}
+	want := r.oracle.broadMatch(q)
+
+	got := r.plain.BroadMatch(q)
+	sortAdsByID(got)
+	if r.cfg.mutateResults != nil {
+		got = r.cfg.mutateResults(got)
+	}
+	if d := diffAds(got, want); d != "" {
+		return fail("plain", "query %q: %s", q, d)
+	}
+	r.checks++
+
+	// Auction differential: default-Selection SelectAds over the real
+	// matches vs. the oracle's independent exclusion+ranking pass.
+	sel := adindex.SelectAds(q, got, adindex.Selection{})
+	if d := diffAds(sel, r.oracle.auction(q)); d != "" {
+		return fail("auction", "query %q: %s", q, d)
+	}
+	r.checks++
+
+	if r.dur != nil {
+		dgot := r.dur.ix.BroadMatch(q)
+		sortAdsByID(dgot)
+		if d := diffAds(dgot, want); d != "" {
+			return fail("durable", "query %q: %s", q, d)
+		}
+		r.checks++
+	}
+
+	if r.net != nil {
+		ids, err := r.net.client.Query(q)
+		if err != nil {
+			return fail("net", "query %q failed: %v", q, err)
+		}
+		sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+		if d := diffIDs(ids, r.oracle.matchIDs(q)); d != "" {
+			return fail("net", "query %q: %s", q, d)
+		}
+		r.checks++
+	}
+	return nil
+}
+
+// checkState cross-checks whole-index state: live counts, epochs in
+// lockstep, structural invariants, and no sticky persistence errors.
+func (r *runner) checkState(i int) *Failure {
+	fail := func(target, format string, args ...interface{}) *Failure {
+		return &Failure{OpIndex: i, Target: target, Detail: fmt.Sprintf(format, args...)}
+	}
+	want := r.oracle.numAds()
+	if got := r.plain.NumAds(); got != want {
+		return fail("plain", "NumAds = %d, oracle says %d", got, want)
+	}
+	if err := r.plain.CheckInvariants(); err != nil {
+		return fail("plain", "invariants: %v", err)
+	}
+	r.checks++
+	if r.dur != nil {
+		if f := r.checkDurableState(i, "periodic"); f != nil {
+			return f
+		}
+	}
+	if r.net != nil {
+		if got := r.net.numAds(); got != want {
+			return fail("net", "NumAds = %d, oracle says %d", got, want)
+		}
+		r.checks++
+	}
+	return nil
+}
+
+// checkDurableState deep-compares the durable index against the oracle
+// and the plain twin: full ad multiset, epoch lockstep, clean persist
+// status. Run after every crash-restart and on the periodic cadence.
+func (r *runner) checkDurableState(i int, when string) *Failure {
+	fail := func(format string, args ...interface{}) *Failure {
+		return &Failure{OpIndex: i, Target: "durable", Detail: when + ": " + fmt.Sprintf(format, args...)}
+	}
+	if got, want := r.dur.ix.NumAds(), r.oracle.numAds(); got != want {
+		return fail("NumAds = %d, oracle says %d", got, want)
+	}
+	if d := diffAds(r.dur.ix.Ads(), r.oracle.sortedAds()); d != "" {
+		return fail("ads diverged: %s", d)
+	}
+	if got, want := r.dur.ix.Epoch(), r.plain.Epoch(); got != want {
+		return fail("epoch = %d, plain twin at %d", got, want)
+	}
+	if err := r.dur.ix.PersistErr(); err != nil {
+		return fail("sticky persist error: %v", err)
+	}
+	r.checks++
+	return nil
+}
+
+// diffAds compares two ID-sorted ad slices field-by-field, returning ""
+// when equal or a deterministic description of the first divergence.
+func diffAds(got, want []corpus.Ad) string {
+	if len(got) != len(want) {
+		return fmt.Sprintf("%d results, oracle says %d (got %v, want %v)", len(got), len(want), idsOf(got), idsOf(want))
+	}
+	for i := range got {
+		g, w := &got[i], &want[i]
+		if g.ID != w.ID {
+			return fmt.Sprintf("result %d has ID %d, oracle says %d", i, g.ID, w.ID)
+		}
+		if g.Phrase != w.Phrase || !stringsEqual(g.Words, w.Words) {
+			return fmt.Sprintf("ad %d phrase/words = %q/%v, oracle says %q/%v", g.ID, g.Phrase, g.Words, w.Phrase, w.Words)
+		}
+		if g.Meta.CampaignID != w.Meta.CampaignID || g.Meta.BidMicros != w.Meta.BidMicros ||
+			g.Meta.ClickRate != w.Meta.ClickRate || !stringsEqual(g.Meta.Exclusions, w.Meta.Exclusions) {
+			return fmt.Sprintf("ad %d meta = %+v, oracle says %+v", g.ID, g.Meta, w.Meta)
+		}
+	}
+	return ""
+}
+
+func diffIDs(got, want []uint64) string {
+	if len(got) != len(want) {
+		return fmt.Sprintf("%d IDs, oracle says %d (got %v, want %v)", len(got), len(want), got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			return fmt.Sprintf("ID[%d] = %d, oracle says %d", i, got[i], want[i])
+		}
+	}
+	return ""
+}
+
+func stringsEqual(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func idsOf(ads []corpus.Ad) []uint64 {
+	ids := make([]uint64, len(ads))
+	for i := range ads {
+		ids[i] = ads[i].ID
+	}
+	return ids
+}

@@ -1,0 +1,233 @@
+package sim
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"adindex/internal/corpus"
+	"adindex/internal/textnorm"
+)
+
+// shrinkTrialBudget bounds the number of candidate schedules a shrink
+// executes. Delta-debugging converges long before this in practice; the
+// budget keeps pathological cases from stalling a test run.
+const shrinkTrialBudget = 400
+
+// Shrink minimizes a failing schedule: first delta-debugging over whole
+// ops (ddmin), then per-op payload shrinking (fewer batch queries, fewer
+// query words, shorter ad phrases, dropped exclusions). A candidate
+// counts as reproducing when it fails on the same target as the original
+// failure. Every trial runs in a fresh scratch directory, so shrinking
+// is deterministic: the same config and schedule minimize to the same
+// trace. Returns the minimized schedule and its failure (nil if the
+// original schedule did not fail — nothing to shrink).
+func Shrink(cfg Config, sched Schedule) (Schedule, *Failure) {
+	cfg = cfg.withDefaults()
+	s := &shrinker{cfg: cfg}
+	defer s.cleanup()
+
+	baseline := s.run(sched.Ops)
+	if baseline == nil {
+		return sched, nil
+	}
+	s.target = baseline.Target
+
+	ops := s.ddmin(sched.Ops)
+	ops = s.shrinkPayloads(ops)
+	min := Schedule{Seed: sched.Seed, Ops: ops}
+	return min, s.run(ops)
+}
+
+type shrinker struct {
+	cfg    Config
+	target string // failure target the minimized schedule must reproduce
+	trials int
+	dirs   []string
+}
+
+// run executes ops in a fresh scratch dir, returning its failure (nil =
+// passed). Setup errors are treated as non-reproducing.
+func (s *shrinker) run(ops []Op) *Failure {
+	cfg := s.cfg
+	if cfg.Durable {
+		dir := filepath.Join(cfg.Dir, fmt.Sprintf("shrink-%04d", s.trials))
+		s.dirs = append(s.dirs, dir)
+		cfg.Dir = dir
+	}
+	s.trials++
+	res, err := RunSchedule(cfg, Schedule{Seed: cfg.Seed, Ops: ops})
+	if err != nil {
+		return nil
+	}
+	return res.Failure
+}
+
+func (s *shrinker) reproduces(ops []Op) bool {
+	if s.trials >= shrinkTrialBudget {
+		return false
+	}
+	f := s.run(ops)
+	return f != nil && f.Target == s.target
+}
+
+func (s *shrinker) cleanup() {
+	for _, d := range s.dirs {
+		os.RemoveAll(d)
+	}
+}
+
+// ddmin is the classic Zeller–Hildebrandt minimizing delta debugger over
+// schedule ops: try dropping chunks at decreasing granularity until no
+// single remaining op can be removed.
+func (s *shrinker) ddmin(ops []Op) []Op {
+	n := 2
+	for len(ops) >= 2 {
+		chunk := (len(ops) + n - 1) / n
+		reduced := false
+		for start := 0; start < len(ops); start += chunk {
+			end := start + chunk
+			if end > len(ops) {
+				end = len(ops)
+			}
+			complement := make([]Op, 0, len(ops)-(end-start))
+			complement = append(complement, ops[:start]...)
+			complement = append(complement, ops[end:]...)
+			if len(complement) > 0 && s.reproduces(complement) {
+				ops = complement
+				if n > 2 {
+					n--
+				}
+				reduced = true
+				break
+			}
+		}
+		if !reduced {
+			if n >= len(ops) {
+				break
+			}
+			n *= 2
+			if n > len(ops) {
+				n = len(ops)
+			}
+		}
+	}
+	return ops
+}
+
+// shrinkPayloads simplifies the surviving ops in place-order: batch and
+// compressed checks down to single queries, queries down to fewer words,
+// insert phrases down to fewer words, exclusions dropped. Repeats until
+// a full pass makes no progress (or the trial budget is spent).
+func (s *shrinker) shrinkPayloads(ops []Op) []Op {
+	for changed := true; changed; {
+		changed = false
+		for i := range ops {
+			op := ops[i]
+			switch op.Kind {
+			case OpBatch, OpCompressed:
+				for len(op.Queries) > 1 {
+					cand := cloneOps(ops)
+					cand[i].Queries = op.Queries[1:]
+					if !s.reproduces(cand) {
+						cand[i].Queries = op.Queries[:len(op.Queries)-1]
+						if !s.reproduces(cand) {
+							break
+						}
+					}
+					ops = cand
+					op = ops[i]
+					changed = true
+				}
+				for qi := range op.Queries {
+					if q, ok := s.shrinkQuery(ops, i, op.Queries[qi], func(cand []Op, nq string) {
+						cand[i].Queries[qi] = nq
+					}); ok {
+						op.Queries[qi] = q
+						changed = true
+					}
+				}
+			case OpQuery, OpObserve:
+				if q, ok := s.shrinkQuery(ops, i, op.Query, func(cand []Op, nq string) {
+					cand[i].Query = nq
+				}); ok {
+					ops[i].Query = q
+					changed = true
+				}
+			case OpInsert:
+				if op.Ad == nil {
+					continue
+				}
+				for len(op.Ad.Words) > 1 {
+					words := op.Ad.Words[1:]
+					cand := cloneOps(ops)
+					ad := corpus.NewAd(op.Ad.ID, strings.Join(words, " "), op.Ad.Meta)
+					cand[i].Ad = &ad
+					if !s.reproduces(cand) {
+						break
+					}
+					ops = cand
+					op = ops[i]
+					changed = true
+				}
+				if len(op.Ad.Meta.Exclusions) > 0 {
+					cand := cloneOps(ops)
+					meta := op.Ad.Meta
+					meta.Exclusions = nil
+					ad := corpus.NewAd(op.Ad.ID, op.Ad.Phrase, meta)
+					cand[i].Ad = &ad
+					if s.reproduces(cand) {
+						ops = cand
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	return ops
+}
+
+// shrinkQuery tries removing query words one position at a time.
+func (s *shrinker) shrinkQuery(ops []Op, i int, q string, set func(cand []Op, nq string)) (string, bool) {
+	words := textnorm.WordSet(q)
+	shrunk := false
+	for len(words) > 1 {
+		removed := false
+		for j := range words {
+			cand := cloneOps(ops)
+			nw := make([]string, 0, len(words)-1)
+			nw = append(nw, words[:j]...)
+			nw = append(nw, words[j+1:]...)
+			nq := strings.Join(nw, " ")
+			set(cand, nq)
+			if s.reproduces(cand) {
+				words = nw
+				set(ops, nq)
+				shrunk, removed = true, true
+				break
+			}
+		}
+		if !removed {
+			break
+		}
+	}
+	return strings.Join(words, " "), shrunk
+}
+
+// cloneOps deep-copies a schedule's ops so candidate mutations never
+// alias the current best.
+func cloneOps(ops []Op) []Op {
+	out := make([]Op, len(ops))
+	copy(out, ops)
+	for i := range out {
+		if out[i].Ad != nil {
+			ad := *out[i].Ad
+			out[i].Ad = &ad
+		}
+		if out[i].Queries != nil {
+			out[i].Queries = append([]string(nil), out[i].Queries...)
+		}
+	}
+	return out
+}

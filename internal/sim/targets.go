@@ -1,0 +1,216 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"adindex"
+	"adindex/internal/corpus"
+	"adindex/internal/diskfault"
+	"adindex/internal/faultnet"
+	"adindex/internal/multiserver"
+	"adindex/internal/shard"
+)
+
+// doomedID identifies the synthetic ad whose insert is torn mid-frame by
+// a crashing write. It is never acknowledged to the oracle, never drawn
+// from the pool, and must never survive recovery.
+const doomedID = uint64(1) << 62
+
+// durTarget is the crash-restarted durable index. All disk I/O flows
+// through a diskfault.Injector so crash points (including torn final
+// frames) are exact and deterministic.
+type durTarget struct {
+	cfg Config
+	ix  *adindex.Index
+	inj *diskfault.Injector
+}
+
+func newDurTarget(cfg Config) (*durTarget, error) {
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("sim: durable target requires Config.Dir")
+	}
+	d := &durTarget{cfg: cfg, inj: diskfault.New(nil, diskfault.Plan{})}
+	ix, _, err := adindex.OpenDurable(cfg.Dir, indexOptions(cfg), d.durableConfig())
+	d.ix = ix
+	return d, err
+}
+
+// crash kills and reopens the durable index. With torn, a doomed insert
+// is first written through an armed injector that crashes the WAL append
+// mid-frame, leaving a torn final frame on disk: recovery must truncate
+// it silently (torn tails of unacknowledged records are not data loss).
+func (d *durTarget) crash(opIndex int, torn bool) error {
+	if torn {
+		d.inj.Arm(diskfault.Plan{CrashAtStep: 1, TornFraction: 0.5, Seed: int64(opIndex)})
+		doomed := corpus.NewAd(doomedID, "doomed torn frame", corpus.Meta{})
+		d.ix.Insert(doomed) // dies mid-frame; never acknowledged to the oracle
+	}
+	d.ix.CrashForTesting()
+	d.inj.Arm(diskfault.Plan{}) // the next process sees a healthy disk
+	ix, rep, err := adindex.OpenDurable(d.cfg.Dir, indexOptions(d.cfg), d.durableConfig())
+	if err != nil {
+		return fmt.Errorf("recovery failed: %v", err)
+	}
+	if rep.Degraded() {
+		ix.Close()
+		return fmt.Errorf("recovery degraded after clean-contract crash: %+v", *rep)
+	}
+	d.ix = ix
+	return nil
+}
+
+func (d *durTarget) durableConfig() adindex.DurableConfig {
+	return adindex.DurableConfig{FS: d.inj, SnapshotEvery: d.cfg.SnapshotEvery}
+}
+
+func (d *durTarget) close() {
+	if d.ix != nil {
+		d.ix.Close()
+	}
+}
+
+func indexOptions(cfg Config) adindex.Options {
+	return adindex.Options{MaxWords: cfg.MaxWords, MaxDeltaAds: cfg.MaxDeltaAds}
+}
+
+// netTarget is the sharded, replicated TCP deployment: Replicas copies
+// of a Shards-way ShardedIndex, each shard server fronted by a faultnet
+// proxy, queried through one shard.NetClient with strict semantics.
+// Mutations are applied to every replica directly (modeling an
+// out-of-band replication channel); kill/heal partition and heal all of
+// one replica's proxies.
+type netTarget struct {
+	replicas []*adindex.ShardedIndex
+	closers  []func()
+	proxies  [][]*faultnet.Proxy // [replica][shard]
+	adSrv    *multiserver.Server
+	client   *shard.NetClient
+	dead     int // replica currently partitioned, -1 = none
+}
+
+func newNetTarget(cfg Config) (*netTarget, error) {
+	nt := &netTarget{dead: -1}
+	// replicaAddrs[shard][replica] — the transpose of our proxy matrix.
+	replicaAddrs := make([][]string, cfg.Shards)
+	for r := 0; r < cfg.Replicas; r++ {
+		sx, err := adindex.NewSharded(nil, cfg.Shards, indexOptions(cfg))
+		if err != nil {
+			nt.close()
+			return nil, err
+		}
+		addrs, closer, err := sx.ServeShards()
+		if err != nil {
+			nt.close()
+			return nil, err
+		}
+		nt.replicas = append(nt.replicas, sx)
+		nt.closers = append(nt.closers, closer)
+		var row []*faultnet.Proxy
+		for s, addr := range addrs {
+			p, err := faultnet.New(addr, nil)
+			if err != nil {
+				nt.close()
+				return nil, err
+			}
+			row = append(row, p)
+			replicaAddrs[s] = append(replicaAddrs[s], p.Addr())
+		}
+		nt.proxies = append(nt.proxies, row)
+	}
+	// The ad-metadata server runs with no ads: it answers any ID with
+	// zero metadata, which the harness never inspects (the networked
+	// comparison is on ID multisets).
+	adSrv, err := multiserver.NewAdServer("127.0.0.1:0", multiserver.ServeOpts{}, nil)
+	if err != nil {
+		nt.close()
+		return nil, err
+	}
+	nt.adSrv = adSrv
+	client, err := shard.DialReplicaShards(replicaAddrs, adSrv.Addr(), shard.Options{
+		Conn: multiserver.ConnOpts{
+			Timeout:          2 * time.Second,
+			MaxRetries:       1,
+			RetryBase:        time.Millisecond,
+			RetryMax:         5 * time.Millisecond,
+			BreakerThreshold: 3,
+			BreakerCooldown:  20 * time.Millisecond,
+			Seed:             cfg.Seed,
+		},
+	})
+	if err != nil {
+		nt.close()
+		return nil, err
+	}
+	nt.client = client
+	return nt, nil
+}
+
+func (n *netTarget) insert(ad corpus.Ad) {
+	for _, sx := range n.replicas {
+		sx.Insert(ad)
+	}
+}
+
+// delete applies the delete to every replica and reports the (agreeing)
+// found verdicts; replicas built from identical mutation streams must
+// never disagree, so a split verdict is itself a divergence.
+func (n *netTarget) delete(id uint64, phrase string) (found bool, diverged bool) {
+	for i, sx := range n.replicas {
+		f := sx.Delete(id, phrase)
+		if i == 0 {
+			found = f
+		} else if f != found {
+			return found, true
+		}
+	}
+	return found, false
+}
+
+// kill partitions replica r. Kills are gated on the fault budget (at
+// most one replica down) so that a schedule mangled by the shrinker can
+// never take the whole deployment down and fail for the wrong reason.
+func (n *netTarget) kill(r int) {
+	if n.dead >= 0 || r < 0 || r >= len(n.proxies) {
+		return
+	}
+	n.dead = r
+	for _, p := range n.proxies[r] {
+		p.Partition()
+	}
+}
+
+// heal heals replica r (no-op when it is not the partitioned one).
+func (n *netTarget) heal(r int) {
+	if r != n.dead || r < 0 || r >= len(n.proxies) {
+		return
+	}
+	n.dead = -1
+	for _, p := range n.proxies[r] {
+		p.Heal()
+	}
+}
+
+func (n *netTarget) numAds() int {
+	if len(n.replicas) == 0 {
+		return 0
+	}
+	return n.replicas[0].NumAds()
+}
+
+func (n *netTarget) close() {
+	if n.client != nil {
+		n.client.Close()
+	}
+	for _, row := range n.proxies {
+		for _, p := range row {
+			p.Close()
+		}
+	}
+	if n.adSrv != nil {
+		n.adSrv.Close()
+	}
+	for _, c := range n.closers {
+		c()
+	}
+}

@@ -1,0 +1,53 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Trace is a self-contained, replayable run description: the config
+// (minus host-local scratch paths) plus the exact schedule. Encoding is
+// deterministic — struct-ordered JSON — so encode(decode(t)) == t byte
+// for byte, and the determinism tests compare traces directly.
+type Trace struct {
+	Config   Config   `json:"config"`
+	Schedule Schedule `json:"schedule"`
+}
+
+// EncodeTrace serializes the trace deterministically.
+func EncodeTrace(t *Trace) []byte {
+	b, err := json.MarshalIndent(t, "", "  ")
+	if err != nil {
+		// Trace contains only plain data types; this cannot fail.
+		panic(fmt.Sprintf("sim: trace marshal: %v", err))
+	}
+	return append(b, '\n')
+}
+
+// DecodeTrace parses a trace written by EncodeTrace.
+func DecodeTrace(r io.Reader) (*Trace, error) {
+	var t Trace
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&t); err != nil {
+		return nil, fmt.Errorf("sim: decode trace: %w", err)
+	}
+	return &t, nil
+}
+
+// WriteTraceFile writes the trace to path.
+func WriteTraceFile(path string, t *Trace) error {
+	return os.WriteFile(path, EncodeTrace(t), 0o644)
+}
+
+// ReadTraceFile loads a trace from path.
+func ReadTraceFile(path string) (*Trace, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeTrace(bytes.NewReader(b))
+}

@@ -1,0 +1,63 @@
+// Package simclock provides a manually advanced clock for deterministic
+// tests. Time-dependent state machines (e.g. the multiserver circuit
+// breaker) accept a now func() time.Time seam; production code passes
+// time.Now, tests pass (*Fake).Now and drive time with Advance instead
+// of sleeping, so timing tests are exact and never flake under load.
+package simclock
+
+import (
+	"sync"
+	"time"
+)
+
+// Epoch is the fixed start instant of a zero-initialized Fake clock. A
+// fixed (non-zero) origin keeps fake timestamps well away from the zero
+// time.Time, whose IsZero special-casing can mask bugs.
+var Epoch = time.Date(2020, time.January, 1, 0, 0, 0, 0, time.UTC)
+
+// Fake is a manually advanced clock. The zero value starts at Epoch.
+// Safe for concurrent use.
+type Fake struct {
+	mu     sync.Mutex
+	offset time.Duration // elapsed since Epoch
+	start  time.Time     // Epoch unless NewFakeAt overrode it
+}
+
+// NewFake returns a fake clock positioned at Epoch.
+func NewFake() *Fake { return &Fake{} }
+
+// NewFakeAt returns a fake clock positioned at start.
+func NewFakeAt(start time.Time) *Fake { return &Fake{start: start} }
+
+func (f *Fake) startTime() time.Time {
+	if f.start.IsZero() {
+		return Epoch
+	}
+	return f.start
+}
+
+// Now returns the current fake instant. Its method value (f.Now) plugs
+// directly into a now func() time.Time seam.
+func (f *Fake) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.startTime().Add(f.offset)
+}
+
+// Advance moves the clock forward by d. Negative d panics: fake time,
+// like real time, does not run backwards.
+func (f *Fake) Advance(d time.Duration) {
+	if d < 0 {
+		panic("simclock: Advance by negative duration")
+	}
+	f.mu.Lock()
+	f.offset += d
+	f.mu.Unlock()
+}
+
+// Elapsed returns how far the clock has been advanced since creation.
+func (f *Fake) Elapsed() time.Duration {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.offset
+}

@@ -1,0 +1,43 @@
+package simclock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestZeroValueStartsAtEpoch(t *testing.T) {
+	var f Fake
+	if !f.Now().Equal(Epoch) {
+		t.Fatalf("zero Fake.Now() = %v, want %v", f.Now(), Epoch)
+	}
+}
+
+func TestAdvance(t *testing.T) {
+	f := NewFake()
+	f.Advance(90 * time.Millisecond)
+	f.Advance(10 * time.Millisecond)
+	if got := f.Now().Sub(Epoch); got != 100*time.Millisecond {
+		t.Fatalf("advanced %v, want 100ms", got)
+	}
+	if f.Elapsed() != 100*time.Millisecond {
+		t.Fatalf("Elapsed = %v, want 100ms", f.Elapsed())
+	}
+}
+
+func TestNewFakeAt(t *testing.T) {
+	start := time.Date(1999, 12, 31, 23, 59, 59, 0, time.UTC)
+	f := NewFakeAt(start)
+	f.Advance(time.Second)
+	if want := start.Add(time.Second); !f.Now().Equal(want) {
+		t.Fatalf("Now = %v, want %v", f.Now(), want)
+	}
+}
+
+func TestAdvanceNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Advance(-1) did not panic")
+		}
+	}()
+	NewFake().Advance(-1)
+}

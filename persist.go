@@ -153,6 +153,23 @@ func (ix *Index) DurableStats() (stats durable.StoreStats, ok bool) {
 	return ix.store.Stats(), true
 }
 
+// CrashForTesting simulates the process dying at this exact point: the
+// durable store's WAL descriptor is dropped without the close-time sync,
+// so only already-synced bytes survive on disk, and the in-memory index
+// must be discarded (its unpersisted state died with the "process").
+// Reopen the directory with OpenDurable to recover. Combined with a
+// diskfault.Injector armed with a CrashAtStep plan this gives the
+// simulation harness deterministic crash points, including torn final
+// frames. No-op on a non-durable index.
+func (ix *Index) CrashForTesting() {
+	if ix.store == nil {
+		return
+	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	ix.store.Crash()
+}
+
 // Close flushes and closes the durable store (no-op for an in-memory
 // index). The index must not be mutated afterwards; reads keep working
 // against the last published snapshot.
