@@ -29,7 +29,8 @@ test:
 
 race:
 	$(GO) test -race -short . ./internal/server ./internal/multiserver \
-		./internal/faultnet ./internal/shard ./internal/durable ./internal/diskfault
+		./internal/faultnet ./internal/shard ./internal/durable ./internal/diskfault \
+		./internal/rewrite
 
 # The crash-recovery stress skips under -short (it forks and SIGKILLs a
 # child), so the smoke target runs it explicitly, under the race
@@ -64,10 +65,13 @@ cover:
 	$(GO) test -coverprofile=cover.out -covermode=atomic ./...
 	$(GO) tool cover -func=cover.out | tail -1
 
-# Ten seconds of coverage-guided fuzzing over the corpus text format
-# round-trip property (Read ∘ Write = id on accepted inputs).
+# Ten seconds of coverage-guided fuzzing each over the corpus text
+# format round-trip property (Read ∘ Write = id on accepted inputs) and
+# the bounded-Levenshtein trie walk (walk ≡ naive DP over every stored
+# word).
 fuzzsmoke:
 	$(GO) test -run='^$$' -fuzz=FuzzReadAds -fuzztime=10s ./internal/corpus
+	$(GO) test -run='^$$' -fuzz=FuzzLevenshteinWalk -fuzztime=10s ./internal/rewrite
 
 # One iteration of every root benchmark: keeps them compiling and
 # running without timing anything.

@@ -11,6 +11,7 @@ import (
 	"adindex/internal/costmodel"
 	"adindex/internal/durable"
 	"adindex/internal/optimize"
+	"adindex/internal/rewrite"
 	"adindex/internal/textnorm"
 )
 
@@ -63,6 +64,11 @@ type Options struct {
 	// many mutations). Default DefaultMaxDeltaAds; negative folds on every
 	// mutation (no overlay, maximal per-mutation cost).
 	MaxDeltaAds int
+	// Rewrite enables approximate broad match (BroadMatchRewrite): fuzzy
+	// spelling correction against the index vocabulary plus optional
+	// synonym-class expansion, under a per-query budget. Nil disables
+	// rewriting; exact matching is unaffected either way.
+	Rewrite *RewriteOptions
 }
 
 // DefaultMaxObservedQueries is the default Options.MaxObservedQueries.
@@ -122,6 +128,9 @@ type Index struct {
 	// observed samples the query stream for workload adaptation, sharded
 	// so recording never blocks queries (or other recorders).
 	observed *observeSampler
+	// rewriter plans approximate broad-match expansions; nil when
+	// Options.Rewrite is unset. Immutable after construction.
+	rewriter *rewrite.Planner
 
 	// optimizeRebuildHook, when set, is invoked (without ix.mu held)
 	// immediately before each Optimize rebuild attempt — after the fold
@@ -186,13 +195,27 @@ func Build(ads []Ad, opts Options) *Index {
 	ix := &Index{
 		opts:     opts,
 		observed: newObserveSampler(opts.maxObserved()),
+		rewriter: opts.planner(),
 	}
-	ix.snap.Store(&snapshot{base: core.New(ads, opts.coreOptions())})
+	ix.publish(&snapshot{base: core.New(ads, opts.coreOptions())})
 	return ix
 }
 
-// publish installs s as the current snapshot. Callers must hold ix.mu.
-func (ix *Index) publish(s *snapshot) { ix.snap.Store(s) }
+// publish installs s as the current snapshot. Callers must hold ix.mu
+// (or be constructing the index). Snapshots that keep the previous base
+// inherit its lazy vocabulary trie, so the rewrite frontier stays in
+// lockstep with mutation epochs without rebuilding anything until the
+// base itself is replaced.
+func (ix *Index) publish(s *snapshot) {
+	if s.bv == nil {
+		if cur := ix.snap.Load(); cur != nil && cur.bv != nil && cur.base == s.base {
+			s.bv = cur.bv
+		} else {
+			s.bv = &baseVocab{base: s.base}
+		}
+	}
+	ix.snap.Store(s)
+}
 
 // Insert adds an advertisement. The ad lands in the snapshot's delta
 // overlay (an atomic republish; no index rebuild) until the overlay

@@ -61,11 +61,78 @@ func SelectAds(query string, matches []Ad, sel Selection) []Ad {
 	return out
 }
 
+// RankDiscountPercent is the bid multiplier (in percent) an approximate
+// match earns in the auction: an advertiser bid on the exact keyword set,
+// so results reached through a rewrite are charged toward the ranking at
+// a discount growing with the rewrite's distance from the query (the
+// broad-match pricing rationale: the further the match, the less the
+// click is worth to the bidder). Exact matches keep full value, synonym
+// substitutions 90%, one-edit spelling fixes 75%, anything farther 50%.
+func RankDiscountPercent(info MatchInfo) int64 {
+	switch info.Type {
+	case MatchSynonym:
+		return 90
+	case MatchFuzzy:
+		if info.Distance <= 1 {
+			return 75
+		}
+		return 50
+	default:
+		return 100
+	}
+}
+
+// SelectMatches is SelectAds for approximate broad-match results: the
+// same exclusion, floor, and shown-ad filters apply, but each ad's rank
+// score is discounted by RankDiscountPercent of its match info before
+// ordering. The bid floor is checked against the undiscounted bid (the
+// advertiser's real commitment); ties break by ID, then by penalty so an
+// exact duplicate outranks its rewritten twin.
+func SelectMatches(query string, matches []Match, sel Selection) []Match {
+	qWords := textnorm.WordSet(query)
+	out := make([]Match, 0, len(matches))
+	for _, m := range matches {
+		if m.Meta.BidMicros < sel.MinBidMicros {
+			continue
+		}
+		if sel.ExcludeShown[m.ID] {
+			continue
+		}
+		if excludedByKeyword(&m.Ad, qWords) {
+			continue
+		}
+		out = append(out, m)
+	}
+	score := func(m *Match) int64 {
+		s := m.Meta.BidMicros
+		if sel.RankByExpectedRevenue {
+			s *= int64(m.Meta.ClickRate)
+		}
+		return s * RankDiscountPercent(m.Info) / 100
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		si, sj := score(&out[i]), score(&out[j])
+		if si != sj {
+			return si > sj
+		}
+		if out[i].ID != out[j].ID {
+			return out[i].ID < out[j].ID
+		}
+		return out[i].Info.Penalty() < out[j].Info.Penalty()
+	})
+	if sel.MaxResults > 0 && len(out) > sel.MaxResults {
+		out = out[:sel.MaxResults]
+	}
+	return out
+}
+
 // excludedByKeyword reports whether any of the ad's negative keywords
-// occurs in the query.
+// occurs in the query. Match copies carry their exclusion word sets
+// precomputed (cached at copy-out); ads from other paths fall back to
+// tokenizing here.
 func excludedByKeyword(ad *Ad, qWords []string) bool {
-	for _, e := range ad.Meta.Exclusions {
-		for _, w := range textnorm.WordSet(e) {
+	for _, ws := range ad.Meta.ExclusionSets() {
+		for _, w := range ws {
 			if containsWord(qWords, w) {
 				return true
 			}

@@ -7,6 +7,8 @@
 //
 //	adgen -ads 1000000 -out corpus.tsv
 //	adgen -ads 1000000 -queries 100000 -out corpus.tsv -queries-out workload.tsv
+//	adgen -ads 1000000 -queries 100000 -typo-rate 0.1 -synonym-rate 0.1 \
+//	      -out corpus.tsv -queries-out workload.tsv -synonyms-out synonyms.tsv
 package main
 
 import (
@@ -16,6 +18,7 @@ import (
 	"os"
 
 	"adindex/internal/corpus"
+	"adindex/internal/rewrite"
 	"adindex/internal/workload"
 )
 
@@ -27,6 +30,12 @@ func main() {
 	reuse := flag.Float64("reuse", 0, "word-set reuse probability (0 = default 0.45)")
 	out := flag.String("out", "-", "corpus output file (- = stdout)")
 	queriesOut := flag.String("queries-out", "-", "workload output file (- = stdout)")
+	typoRate := flag.Float64("typo-rate", 0,
+		"probability a workload query carries a one-letter typo (evaluates approximate broad match)")
+	synonymRate := flag.Float64("synonym-rate", 0,
+		"probability a workload query substitutes a synonym-class member")
+	synonymsOut := flag.String("synonyms-out", "",
+		"write the derived synonym-class TSV here (load in adserve with -synonyms)")
 	stats := flag.Bool("stats", false, "print distribution statistics to stderr")
 	flag.Parse()
 
@@ -42,8 +51,27 @@ func main() {
 	if *stats {
 		printStats(c)
 	}
+	var classes *rewrite.Classes
+	if *synonymRate > 0 || *synonymsOut != "" {
+		var err error
+		classes, err = workload.DeriveClasses(c.Vocabulary())
+		if err != nil {
+			log.Fatalf("deriving synonym classes: %v", err)
+		}
+		if *synonymsOut != "" {
+			if err := writeTo(*synonymsOut, func(f *os.File) error { return rewrite.WriteClasses(f, classes) }); err != nil {
+				log.Fatalf("writing synonyms: %v", err)
+			}
+		}
+	}
 	if *numQueries > 0 {
-		wl := workload.Generate(c, workload.GenOptions{NumQueries: *numQueries, Seed: *seed + 1})
+		wl := workload.Generate(c, workload.GenOptions{
+			NumQueries:  *numQueries,
+			Seed:        *seed + 1,
+			TypoRate:    *typoRate,
+			SynonymRate: *synonymRate,
+			Synonyms:    classes,
+		})
 		if err := writeTo(*queriesOut, func(f *os.File) error { return wl.Write(f) }); err != nil {
 			log.Fatalf("writing workload: %v", err)
 		}

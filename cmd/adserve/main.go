@@ -28,6 +28,7 @@
 // Endpoints (see internal/server):
 //
 //	/search?q=...&type=broad|exact|phrase   retrieval (cached, admitted)
+//	        &rewrite=on|off                 approximate broad match (-rewrite / -synonyms)
 //	/insert, /delete                        corpus mutations (POST JSON; local mode)
 //	/stats                                  index structure statistics (local mode)
 //	/optimize                               re-optimize layout from observed queries (local mode)
@@ -48,6 +49,7 @@ import (
 	"adindex/internal/corpus"
 	"adindex/internal/durable"
 	"adindex/internal/multiserver"
+	"adindex/internal/rewrite"
 	"adindex/internal/server"
 	"adindex/internal/shard"
 )
@@ -65,6 +67,18 @@ func main() {
 		"per-request deadline covering admission-queue wait and execution")
 	maxObserved := flag.Int("max-observed", adindex.DefaultMaxObservedQueries,
 		"cap on distinct observed queries kept for layout optimization (negative = unbounded)")
+
+	// Approximate broad match (local mode): /search?rewrite=on expands the
+	// query with spelling corrections (and synonyms when -synonyms is set)
+	// and tags each result with how it was reached.
+	rewriteOn := flag.Bool("rewrite", false,
+		"enable approximate broad match (/search?rewrite=on): fuzzy spelling rewrites, plus synonym substitutions with -synonyms")
+	synonymsPath := flag.String("synonyms", "",
+		"synonym-class TSV (one class per line, tab-separated words); implies -rewrite")
+	rewriteMaxVariants := flag.Int("rewrite-max-variants", 0,
+		"cap on rewrite variants planned per query (0 = default, negative = unbounded)")
+	rewriteMaxProbes := flag.Int("rewrite-max-probes", 0,
+		"cap on index probes per rewritten query, exact probe included (0 = default, negative = unbounded)")
 
 	// Durable persistence (local mode): every acknowledged mutation is
 	// WAL-logged before it applies, and the index recovers from the
@@ -116,6 +130,33 @@ func main() {
 		BackendLossGrace: *backendGrace,
 	}
 
+	var rewriteOpts *adindex.RewriteOptions
+	if *rewriteOn || *synonymsPath != "" {
+		if *shards != "" {
+			log.Fatal("-rewrite/-synonyms are incompatible with -shards: rewrite runs on a local index")
+		}
+		rewriteOpts = &adindex.RewriteOptions{
+			MaxVariants: *rewriteMaxVariants,
+			MaxProbes:   *rewriteMaxProbes,
+		}
+		if *synonymsPath != "" {
+			f, err := os.Open(*synonymsPath)
+			if err != nil {
+				log.Fatal(err)
+			}
+			classes, err := rewrite.ReadClasses(f)
+			f.Close()
+			if err != nil {
+				log.Fatalf("reading synonyms: %v", err)
+			}
+			rewriteOpts.Synonyms = classes
+			log.Printf("loaded %d synonym classes (%d words) from %s",
+				classes.NumClasses(), classes.NumWords(), *synonymsPath)
+		}
+		log.Printf("approximate broad match enabled (variants=%d, probes=%d; 0 = default)",
+			*rewriteMaxVariants, *rewriteMaxProbes)
+	}
+
 	if *dataDir != "" {
 		if *shards != "" {
 			log.Fatal("-data-dir is incompatible with -shards: a remote front-end holds no local index state")
@@ -132,6 +173,7 @@ func main() {
 			tcpAd:         *tcpAd,
 			maxWords:      *maxWords,
 			maxObserved:   *maxObserved,
+			rewriteOpts:   rewriteOpts,
 		})
 		return
 	}
@@ -179,6 +221,7 @@ func main() {
 		ix := adindex.Build(c.Ads, adindex.Options{
 			MaxWords:           *maxWords,
 			MaxObservedQueries: *maxObserved,
+			Rewrite:            rewriteOpts,
 		})
 		if *mappingPath != "" {
 			mf, err := os.Open(*mappingPath)
@@ -228,6 +271,7 @@ type durableFlags struct {
 	corpusPath, mappingPath string
 	addr, tcpIndex, tcpAd   string
 	maxWords, maxObserved   int
+	rewriteOpts             *adindex.RewriteOptions
 }
 
 // runDurable is the durable-mode main loop: bind the port first (so
@@ -291,6 +335,7 @@ func runDurable(cfg server.Config, df durableFlags) {
 	ix, report, err := adindex.OpenDurable(df.dataDir, adindex.Options{
 		MaxWords:           df.maxWords,
 		MaxObservedQueries: df.maxObserved,
+		Rewrite:            df.rewriteOpts,
 	}, adindex.DurableConfig{
 		Sync:          syncMode,
 		SnapshotEvery: df.snapshotEvery,

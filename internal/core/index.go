@@ -144,6 +144,22 @@ func (ix *Index) NumNodes() int { return len(ix.table) }
 // NumDistinctSets returns the number of distinct indexed word sets.
 func (ix *Index) NumDistinctSets() int { return len(ix.setCount) }
 
+// VocabWords returns the index's word universe — every word occurring in
+// at least one indexed record — sorted. It allocates a fresh slice; the
+// rewrite layer builds its vocabulary trie from it once per base index.
+func (ix *Index) VocabWords() []string {
+	words := make([]string, 0, len(ix.df))
+	for w := range ix.df {
+		words = append(words, w)
+	}
+	sort.Strings(words)
+	return words
+}
+
+// WordDF returns the number of indexed records containing w (0 when w is
+// not in the vocabulary).
+func (ix *Index) WordDF(w string) int { return ix.df[w] }
+
 // place stores ad at the given locator, or at the one chosen by the
 // grouping rule / local heuristic when loc is nil.
 func (ix *Index) place(ad corpus.Ad, loc []string) {

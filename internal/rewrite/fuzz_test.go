@@ -1,0 +1,76 @@
+package rewrite
+
+import (
+	"sort"
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+// FuzzLevenshteinWalk cross-checks the trie's bounded walk against the
+// naive DP over the same word list: identical word/distance sets,
+// lexicographic visit order, and a distance-0 visit whenever the query is
+// itself a stored word (even at maxDist 0).
+func FuzzLevenshteinWalk(f *testing.F) {
+	f.Add("shoe shoes shop ship shore", "shoos", 1)
+	f.Add("sponsored search auction bid", "auctoin", 2)
+	f.Add("a ab abc abcd", "abz", 0)
+	f.Add("", "anything", 2)
+	f.Fuzz(func(t *testing.T, wordBlob, query string, maxDist int) {
+		if maxDist < 0 || maxDist > 3 {
+			return
+		}
+		if !utf8.ValidString(wordBlob) || !utf8.ValidString(query) {
+			return
+		}
+		if utf8.RuneCountInString(query) > 24 {
+			return
+		}
+		var words []string
+		seen := make(map[string]bool)
+		for _, w := range strings.Fields(wordBlob) {
+			if utf8.RuneCountInString(w) > 24 {
+				return
+			}
+			if !seen[w] {
+				seen[w] = true
+				words = append(words, w)
+			}
+			if len(words) >= 64 {
+				break
+			}
+		}
+		tr := NewTrie(words)
+		want := make(map[string]int)
+		for _, w := range words {
+			if d := Distance(query, w); d <= maxDist {
+				want[w] = d
+			}
+		}
+		got := make(map[string]int)
+		var order []string
+		tr.Walk(query, maxDist, func(w string, d int) {
+			if _, dup := got[w]; dup {
+				t.Fatalf("word %q visited twice", w)
+			}
+			got[w] = d
+			order = append(order, w)
+		})
+		if !sort.StringsAreSorted(order) {
+			t.Fatalf("visit order not lexicographic: %v", order)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("walk visited %d words, naive DP found %d (got %v, want %v)", len(got), len(want), got, want)
+		}
+		for w, d := range want {
+			if gd, ok := got[w]; !ok || gd != d {
+				t.Fatalf("word %q: walk %d (present=%v), naive %d", w, gd, ok, d)
+			}
+		}
+		if seen[query] {
+			if d, ok := got[query]; !ok || d != 0 {
+				t.Fatalf("stored query %q not visited at distance 0 (maxDist %d)", query, maxDist)
+			}
+		}
+	})
+}

@@ -1,0 +1,67 @@
+// Package rewrite implements the approximate broad-match frontier: a
+// vocabulary trie with a bounded-Levenshtein walk for spelling-corrected
+// candidates, synonym/quotient classes mapping words to equivalent forms
+// (the quotient-space retrieval idea), and a budgeted planner that expands
+// a query's canonical word set into a small, deterministic list of
+// alternative word sets to probe through the exact subset index.
+//
+// The paper's index answers exact broad match only — every bid word must
+// occur verbatim in the query. Production engines relax that model by
+// rewriting the query before retrieval; this package is that rewrite
+// stage, kept deliberately separable so the exact path is untouched when
+// rewriting is disabled.
+package rewrite
+
+import "unicode/utf8"
+
+// Distance returns the Levenshtein edit distance between a and b:
+// the minimum number of unit-cost rune insertions, deletions, and
+// substitutions transforming one into the other.
+func Distance(a, b string) int {
+	ar, br := []rune(a), []rune(b)
+	if len(ar) == 0 {
+		return len(br)
+	}
+	if len(br) == 0 {
+		return len(ar)
+	}
+	prev := make([]int, len(br)+1)
+	cur := make([]int, len(br)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(ar); i++ {
+		cur[0] = i
+		for j := 1; j <= len(br); j++ {
+			cost := 1
+			if ar[i-1] == br[j-1] {
+				cost = 0
+			}
+			d := prev[j-1] + cost
+			if x := prev[j] + 1; x < d {
+				d = x
+			}
+			if x := cur[j-1] + 1; x < d {
+				d = x
+			}
+			cur[j] = d
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(br)]
+}
+
+// DistanceBound returns the edit-distance budget fuzzy rewriting grants a
+// query word: 0 for words shorter than 3 runes (too little signal to
+// correct — a 1-edit neighborhood of "to" covers half the function words
+// in English), 1 for words of 3–5 runes, 2 for 6 runes and longer.
+func DistanceBound(word string) int {
+	switch n := utf8.RuneCountInString(word); {
+	case n < 3:
+		return 0
+	case n <= 5:
+		return 1
+	default:
+		return 2
+	}
+}

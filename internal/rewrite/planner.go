@@ -1,0 +1,217 @@
+package rewrite
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"adindex/internal/textnorm"
+)
+
+// MatchType classifies how a broad-match result reached the query.
+type MatchType uint8
+
+const (
+	// Exact: the unmodified query matched.
+	Exact MatchType = iota
+	// Synonym: a query word was replaced by a synonym-class member.
+	Synonym
+	// Fuzzy: a query word was replaced by a vocabulary word within its
+	// edit-distance bound.
+	Fuzzy
+)
+
+var matchTypeNames = [...]string{Exact: "exact", Synonym: "synonym", Fuzzy: "fuzzy"}
+
+// String returns the stable lowercase name ("exact", "synonym", "fuzzy").
+func (t MatchType) String() string {
+	if int(t) < len(matchTypeNames) {
+		return matchTypeNames[t]
+	}
+	return fmt.Sprintf("matchtype(%d)", uint8(t))
+}
+
+// MarshalJSON writes the type name.
+func (t MatchType) MarshalJSON() ([]byte, error) { return json.Marshal(t.String()) }
+
+// UnmarshalJSON parses a type name.
+func (t *MatchType) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	for i, n := range matchTypeNames {
+		if n == s {
+			*t = MatchType(i)
+			return nil
+		}
+	}
+	return fmt.Errorf("rewrite: unknown match type %q", s)
+}
+
+// MatchInfo describes how one result matched: the rewrite type and, for
+// fuzzy matches, the edit distance spent reaching it.
+type MatchInfo struct {
+	Type     MatchType `json:"type"`
+	Distance int       `json:"distance,omitempty"`
+}
+
+// Penalty orders match quality for deterministic planning and ranking
+// discounts: 0 for exact, 1 for a synonym substitution, 1+distance for a
+// fuzzy one (so a distance-1 typo fix ranks below a synonym).
+func (i MatchInfo) Penalty() int {
+	switch i.Type {
+	case Synonym:
+		return 1
+	case Fuzzy:
+		return 1 + i.Distance
+	default:
+		return 0
+	}
+}
+
+// Budget bounds the planner's fan-out. Zero fields select the defaults;
+// negative values remove the bound.
+type Budget struct {
+	// MaxVariants caps how many alternative word sets Plan returns.
+	MaxVariants int
+	// MaxProbes caps total index probes per query, the exact-match probe
+	// included, so executors stop early even when many variants planned.
+	MaxProbes int
+}
+
+// Defaults for Budget's zero values.
+const (
+	DefaultMaxVariants = 16
+	DefaultMaxProbes   = 8
+)
+
+const unbounded = int(^uint(0) >> 1)
+
+// VariantLimit resolves MaxVariants (0 → default, negative → unbounded).
+func (b Budget) VariantLimit() int {
+	switch {
+	case b.MaxVariants == 0:
+		return DefaultMaxVariants
+	case b.MaxVariants < 0:
+		return unbounded
+	}
+	return b.MaxVariants
+}
+
+// ProbeLimit resolves MaxProbes (0 → default, negative → unbounded).
+func (b Budget) ProbeLimit() int {
+	switch {
+	case b.MaxProbes == 0:
+		return DefaultMaxProbes
+	case b.MaxProbes < 0:
+		return unbounded
+	}
+	return b.MaxProbes
+}
+
+// Variant is one alternative word set to probe: the canonical set plus
+// the match info results found through it will carry.
+type Variant struct {
+	Words []string
+	Info  MatchInfo
+}
+
+// PlanStats reports the work one plan cost.
+type PlanStats struct {
+	// Generated counts candidate variants before dedup and clipping.
+	Generated int
+	// Clipped reports that MaxVariants truncated the plan.
+	Clipped bool
+}
+
+// Planner expands queries into rewrite variants. The zero value plans
+// fuzzy-only rewrites under the default budget; a Planner is immutable in
+// use and safe for concurrent queries.
+type Planner struct {
+	// Classes is the synonym table; nil plans fuzzy rewrites only.
+	Classes *Classes
+	// Budget bounds the fan-out.
+	Budget Budget
+}
+
+// Plan expands a canonical query word set into alternative word sets,
+// each differing from the query by exactly one word substitution — a
+// synonym-class member or a vocabulary word within the per-word edit
+// bound (DistanceBound). Candidates are deduplicated by canonical set key
+// and ordered by (penalty ascending, set key ascending), then clipped to
+// the variant budget, so the output is a deterministic function of
+// (queryWords, src, Classes, Budget) — the property the simulation oracle
+// relies on. queryWords must be canonical; the returned variants never
+// alias it.
+func (p *Planner) Plan(queryWords []string, src Source) ([]Variant, PlanStats) {
+	var stats PlanStats
+	if len(queryWords) == 0 {
+		return nil, stats
+	}
+	type cand struct {
+		v   Variant
+		key string
+	}
+	var cands []cand
+	add := func(i int, repl string, info MatchInfo) {
+		words := substitute(queryWords, i, repl)
+		cands = append(cands, cand{v: Variant{Words: words, Info: info}, key: textnorm.SetKey(words)})
+	}
+	for i, w := range queryWords {
+		for _, m := range p.Classes.Alternates(w) {
+			if src.Has(m) && !containsSorted(queryWords, m) {
+				add(i, m, MatchInfo{Type: Synonym})
+			}
+		}
+		bound := DistanceBound(w)
+		if bound == 0 {
+			continue
+		}
+		for _, c := range src.Suggest(w, bound) {
+			if c.Distance == 0 || containsSorted(queryWords, c.Word) {
+				continue
+			}
+			add(i, c.Word, MatchInfo{Type: Fuzzy, Distance: c.Distance})
+		}
+	}
+	stats.Generated = len(cands)
+	sort.SliceStable(cands, func(a, b int) bool {
+		pa, pb := cands[a].v.Info.Penalty(), cands[b].v.Info.Penalty()
+		if pa != pb {
+			return pa < pb
+		}
+		return cands[a].key < cands[b].key
+	})
+	out := make([]Variant, 0, len(cands))
+	seen := make(map[string]bool, len(cands))
+	limit := p.Budget.VariantLimit()
+	for _, c := range cands {
+		if seen[c.key] {
+			continue
+		}
+		seen[c.key] = true
+		if len(out) >= limit {
+			stats.Clipped = true
+			break
+		}
+		out = append(out, c.v)
+	}
+	return out, stats
+}
+
+// substitute returns the canonical word set obtained by replacing
+// words[i] with repl. repl must not already occur in words.
+func substitute(words []string, i int, repl string) []string {
+	out := make([]string, 0, len(words))
+	out = append(out, words[:i]...)
+	out = append(out, words[i+1:]...)
+	out = append(out, repl)
+	sort.Strings(out)
+	return out
+}
+
+func containsSorted(sorted []string, w string) bool {
+	i := sort.SearchStrings(sorted, w)
+	return i < len(sorted) && sorted[i] == w
+}

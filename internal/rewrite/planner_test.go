@@ -1,0 +1,198 @@
+package rewrite
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"adindex/internal/textnorm"
+)
+
+func mustClasses(t *testing.T, raw [][]string) *Classes {
+	t.Helper()
+	c, err := NewClasses(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestPlanSynonymAndFuzzy(t *testing.T) {
+	vocab := WordList{"shoe", "sneaker", "running", "shop"}
+	p := &Planner{Classes: mustClasses(t, [][]string{{"shoe", "sneaker"}})}
+	variants, stats := p.Plan([]string{"running", "shoe"}, vocab)
+	if stats.Clipped {
+		t.Fatal("unexpected clip")
+	}
+	// Expected: synonym {running, sneaker} (penalty 1), fuzzy
+	// {running, shop} from shoe→shop d1 (penalty 2). "running" has no
+	// neighbors within 2 and "shoe"→"sneaker" is distance 4 (> bound 1).
+	if len(variants) != 2 {
+		t.Fatalf("got %d variants: %+v", len(variants), variants)
+	}
+	if !reflect.DeepEqual(variants[0].Words, []string{"running", "sneaker"}) ||
+		variants[0].Info != (MatchInfo{Type: Synonym}) {
+		t.Errorf("variant 0 = %+v", variants[0])
+	}
+	if !reflect.DeepEqual(variants[1].Words, []string{"running", "shop"}) ||
+		variants[1].Info != (MatchInfo{Type: Fuzzy, Distance: 1}) {
+		t.Errorf("variant 1 = %+v", variants[1])
+	}
+	if stats.Generated != 2 {
+		t.Errorf("Generated = %d, want 2", stats.Generated)
+	}
+}
+
+func TestPlanSkipsAbsentSynonyms(t *testing.T) {
+	p := &Planner{Classes: mustClasses(t, [][]string{{"shoe", "sneaker"}})}
+	variants, _ := p.Plan([]string{"shoe"}, WordList{"shoe"})
+	for _, v := range variants {
+		if v.Info.Type == Synonym {
+			t.Fatalf("synonym variant for word absent from vocabulary: %+v", v)
+		}
+	}
+}
+
+func TestPlanSkipsWordsAlreadyInQuery(t *testing.T) {
+	vocab := WordList{"shoe", "shop"}
+	var p Planner
+	variants, _ := p.Plan([]string{"shoe", "shop"}, vocab)
+	// shoe→shop and shop→shoe would each collapse a word already present;
+	// both substitutions are suppressed.
+	if len(variants) != 0 {
+		t.Fatalf("got variants %+v, want none", variants)
+	}
+}
+
+func TestPlanDedupesByKey(t *testing.T) {
+	// Two paths to the same set: shoe→shop (fuzzy) from either side.
+	vocab := WordList{"shoe", "shop", "ship"}
+	var p Planner
+	variants, stats := p.Plan([]string{"shoe"}, vocab)
+	keys := make(map[string]bool)
+	for _, v := range variants {
+		k := textnorm.SetKey(v.Words)
+		if keys[k] {
+			t.Fatalf("duplicate variant key %q", k)
+		}
+		keys[k] = true
+	}
+	if stats.Generated < len(variants) {
+		t.Fatalf("Generated %d < emitted %d", stats.Generated, len(variants))
+	}
+}
+
+func TestPlanBudgetClips(t *testing.T) {
+	vocab := WordList{"shoe", "shop", "ship", "show", "shot", "sloe"}
+	p := &Planner{Budget: Budget{MaxVariants: 2}}
+	variants, stats := p.Plan([]string{"shoe"}, vocab)
+	if len(variants) != 2 {
+		t.Fatalf("got %d variants, want 2", len(variants))
+	}
+	if !stats.Clipped {
+		t.Fatal("Clipped = false, want true")
+	}
+	unlimited := &Planner{Budget: Budget{MaxVariants: -1}}
+	all, st := unlimited.Plan([]string{"shoe"}, vocab)
+	if st.Clipped {
+		t.Fatal("unbounded plan reported clipped")
+	}
+	// The clipped plan must be a prefix of the unbounded one.
+	for i, v := range variants {
+		if !reflect.DeepEqual(v, all[i]) {
+			t.Fatalf("clipped[%d] = %+v, unbounded[%d] = %+v", i, v, i, all[i])
+		}
+	}
+}
+
+func TestPlanDeterministic(t *testing.T) {
+	vocab := WordList{"shoe", "shop", "ship", "sneaker", "running", "runing"}
+	p := &Planner{Classes: mustClasses(t, [][]string{{"shoe", "sneaker"}})}
+	q := []string{"running", "shoe"}
+	first, fs := p.Plan(q, vocab)
+	for i := 0; i < 10; i++ {
+		again, as := p.Plan(q, vocab)
+		if !reflect.DeepEqual(first, again) || fs != as {
+			t.Fatalf("plan not deterministic: %+v vs %+v", first, again)
+		}
+	}
+}
+
+func TestPlanPenaltyOrdering(t *testing.T) {
+	// Synonym (penalty 1) must sort before fuzzy d1 (penalty 2) before
+	// fuzzy d2 (penalty 3), regardless of generation order.
+	vocab := WordList{"shovel", "shoveling", "shovels", "spade"}
+	p := &Planner{Classes: mustClasses(t, [][]string{{"shovel", "spade"}})}
+	variants, _ := p.Plan([]string{"shovel"}, vocab)
+	last := -1
+	for _, v := range variants {
+		if pen := v.Info.Penalty(); pen < last {
+			t.Fatalf("penalty order violated: %+v", variants)
+		} else {
+			last = pen
+		}
+	}
+	if len(variants) == 0 || variants[0].Info.Type != Synonym {
+		t.Fatalf("expected synonym first, got %+v", variants)
+	}
+}
+
+func TestPlanEmptyQuery(t *testing.T) {
+	var p Planner
+	variants, stats := p.Plan(nil, WordList{"shoe"})
+	if variants != nil || stats != (PlanStats{}) {
+		t.Fatalf("Plan(nil) = %+v, %+v", variants, stats)
+	}
+}
+
+func TestBudgetLimits(t *testing.T) {
+	var b Budget
+	if b.VariantLimit() != DefaultMaxVariants || b.ProbeLimit() != DefaultMaxProbes {
+		t.Error("zero budget does not select defaults")
+	}
+	b = Budget{MaxVariants: 3, MaxProbes: 5}
+	if b.VariantLimit() != 3 || b.ProbeLimit() != 5 {
+		t.Error("explicit budget ignored")
+	}
+	b = Budget{MaxVariants: -1, MaxProbes: -1}
+	if b.VariantLimit() != unbounded || b.ProbeLimit() != unbounded {
+		t.Error("negative budget not unbounded")
+	}
+}
+
+func TestMatchInfoPenalty(t *testing.T) {
+	cases := []struct {
+		info MatchInfo
+		want int
+	}{
+		{MatchInfo{Type: Exact}, 0},
+		{MatchInfo{Type: Synonym}, 1},
+		{MatchInfo{Type: Fuzzy, Distance: 1}, 2},
+		{MatchInfo{Type: Fuzzy, Distance: 2}, 3},
+	}
+	for _, c := range cases {
+		if got := c.info.Penalty(); got != c.want {
+			t.Errorf("Penalty(%+v) = %d, want %d", c.info, got, c.want)
+		}
+	}
+}
+
+func TestMatchTypeJSON(t *testing.T) {
+	for _, typ := range []MatchType{Exact, Synonym, Fuzzy} {
+		b, err := json.Marshal(typ)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back MatchType
+		if err := json.Unmarshal(b, &back); err != nil {
+			t.Fatal(err)
+		}
+		if back != typ {
+			t.Errorf("round trip %v -> %s -> %v", typ, b, back)
+		}
+	}
+	var bad MatchType
+	if err := json.Unmarshal([]byte(`"nope"`), &bad); err == nil {
+		t.Error("unknown type name accepted")
+	}
+}

@@ -1,0 +1,143 @@
+package rewrite
+
+import "sort"
+
+// Trie is an immutable rune trie over a word universe. It supports exact
+// membership and Walk, a bounded-Levenshtein traversal that enumerates
+// every stored word within a given edit distance of a query word. Build
+// once with NewTrie; a built Trie is safe for concurrent readers.
+type Trie struct {
+	root trieNode
+	size int
+}
+
+type trieNode struct {
+	r        rune
+	terminal bool
+	word     string // set when terminal: the full stored word
+	children []*trieNode
+}
+
+// NewTrie builds a trie over words. Duplicates and empty strings are
+// ignored; the input need not be sorted and is not retained.
+func NewTrie(words []string) *Trie {
+	t := &Trie{}
+	for _, w := range words {
+		t.insert(w)
+	}
+	return t
+}
+
+func (t *Trie) insert(w string) {
+	if w == "" {
+		return
+	}
+	n := &t.root
+	for _, r := range w {
+		i := sort.Search(len(n.children), func(i int) bool { return n.children[i].r >= r })
+		if i < len(n.children) && n.children[i].r == r {
+			n = n.children[i]
+			continue
+		}
+		child := &trieNode{r: r}
+		n.children = append(n.children, nil)
+		copy(n.children[i+1:], n.children[i:])
+		n.children[i] = child
+		n = child
+	}
+	if !n.terminal {
+		n.terminal = true
+		n.word = w
+		t.size++
+	}
+}
+
+// Len returns the number of distinct stored words.
+func (t *Trie) Len() int { return t.size }
+
+// Has reports whether w is a stored word.
+func (t *Trie) Has(w string) bool {
+	if w == "" {
+		return false
+	}
+	n := &t.root
+	for _, r := range w {
+		i := sort.Search(len(n.children), func(i int) bool { return n.children[i].r >= r })
+		if i >= len(n.children) || n.children[i].r != r {
+			return false
+		}
+		n = n.children[i]
+	}
+	return n.terminal
+}
+
+// Walk visits every stored word within maxDist Levenshtein edits of word,
+// in lexicographic (code-point) order, passing the exact distance. The
+// traversal maintains one dynamic-programming row per trie depth and
+// prunes any subtree whose row minimum already exceeds maxDist, so the
+// visited region shrinks rapidly with the bound. A stored word equal to
+// the query is always visited with distance 0, even at maxDist 0.
+func (t *Trie) Walk(word string, maxDist int, visit func(w string, dist int)) {
+	if maxDist < 0 {
+		return
+	}
+	w := walker{q: []rune(word), maxDist: maxDist, visit: visit}
+	row := make([]int, len(w.q)+1)
+	for j := range row {
+		row[j] = j
+	}
+	// The root is never terminal (empty words are rejected on insert), so
+	// only its children need visiting; the root row represents the empty
+	// stored prefix.
+	for _, c := range t.root.children {
+		w.walk(c, 0, row)
+	}
+}
+
+// walker carries the walk state. rows[d] is the scratch DP row for trie
+// depth d+1: depth-first traversal finishes a child's whole subtree
+// before its sibling reuses the row, while the parent row stays intact.
+type walker struct {
+	q       []rune
+	maxDist int
+	visit   func(string, int)
+	rows    [][]int
+}
+
+func (w *walker) row(depth int) []int {
+	for len(w.rows) <= depth {
+		w.rows = append(w.rows, make([]int, len(w.q)+1))
+	}
+	return w.rows[depth]
+}
+
+func (w *walker) walk(n *trieNode, depth int, prev []int) {
+	row := w.row(depth)
+	row[0] = prev[0] + 1
+	min := row[0]
+	for j := 1; j <= len(w.q); j++ {
+		cost := 1
+		if w.q[j-1] == n.r {
+			cost = 0
+		}
+		d := prev[j-1] + cost
+		if x := prev[j] + 1; x < d {
+			d = x
+		}
+		if x := row[j-1] + 1; x < d {
+			d = x
+		}
+		row[j] = d
+		if d < min {
+			min = d
+		}
+	}
+	if n.terminal && row[len(w.q)] <= w.maxDist {
+		w.visit(n.word, row[len(w.q)])
+	}
+	if min <= w.maxDist {
+		for _, c := range n.children {
+			w.walk(c, depth+1, row)
+		}
+	}
+}

@@ -1,0 +1,207 @@
+package rewrite
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+)
+
+func TestDistance(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"", "abc", 3},
+		{"abc", "", 3},
+		{"abc", "abc", 0},
+		{"kitten", "sitting", 3},
+		{"flaw", "lawn", 2},
+		{"shoes", "shoe", 1},
+		{"shoes", "shose", 2}, // transposition costs 2 under plain Levenshtein
+		{"café", "cafe", 1},   // rune-level, not byte-level
+	}
+	for _, c := range cases {
+		if got := Distance(c.a, c.b); got != c.want {
+			t.Errorf("Distance(%q, %q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+		if got := Distance(c.b, c.a); got != c.want {
+			t.Errorf("Distance(%q, %q) = %d, want %d (symmetry)", c.b, c.a, got, c.want)
+		}
+	}
+}
+
+func TestDistanceBound(t *testing.T) {
+	cases := []struct {
+		w    string
+		want int
+	}{
+		{"", 0}, {"a", 0}, {"to", 0},
+		{"cat", 1}, {"shoes", 1},
+		{"shovel", 2}, {"sponsored", 2},
+		{"café", 1}, // 4 runes
+	}
+	for _, c := range cases {
+		if got := DistanceBound(c.w); got != c.want {
+			t.Errorf("DistanceBound(%q) = %d, want %d", c.w, got, c.want)
+		}
+	}
+}
+
+func TestTrieHasLen(t *testing.T) {
+	words := []string{"shoe", "shoes", "shop", "ship", "shoe", "", "a"}
+	tr := NewTrie(words)
+	if tr.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", tr.Len())
+	}
+	for _, w := range []string{"shoe", "shoes", "shop", "ship", "a"} {
+		if !tr.Has(w) {
+			t.Errorf("Has(%q) = false, want true", w)
+		}
+	}
+	for _, w := range []string{"", "sh", "shoess", "show", "b"} {
+		if tr.Has(w) {
+			t.Errorf("Has(%q) = true, want false", w)
+		}
+	}
+}
+
+// naiveWithin is the reference the walk must agree with: scan all words
+// with the plain DP.
+func naiveWithin(words []string, q string, maxDist int) map[string]int {
+	out := make(map[string]int)
+	for _, w := range words {
+		if d := Distance(q, w); d <= maxDist {
+			out[w] = d
+		}
+	}
+	return out
+}
+
+func checkWalk(t *testing.T, words []string, q string, maxDist int) {
+	t.Helper()
+	tr := NewTrie(words)
+	want := naiveWithin(words, q, maxDist)
+	var gotWords []string
+	got := make(map[string]int)
+	tr.Walk(q, maxDist, func(w string, d int) {
+		gotWords = append(gotWords, w)
+		if _, dup := got[w]; dup {
+			t.Errorf("Walk(%q, %d) visited %q twice", q, maxDist, w)
+		}
+		got[w] = d
+	})
+	if !sort.StringsAreSorted(gotWords) {
+		t.Errorf("Walk(%q, %d) out of lexicographic order: %v", q, maxDist, gotWords)
+	}
+	for w, d := range want {
+		if gd, ok := got[w]; !ok {
+			t.Errorf("Walk(%q, %d) missed %q (distance %d)", q, maxDist, w, d)
+		} else if gd != d {
+			t.Errorf("Walk(%q, %d): %q distance %d, want %d", q, maxDist, w, gd, d)
+		}
+	}
+	for w, d := range got {
+		if _, ok := want[w]; !ok {
+			t.Errorf("Walk(%q, %d) falsely visited %q at distance %d", q, maxDist, w, d)
+		}
+	}
+}
+
+func TestWalkAgainstNaive(t *testing.T) {
+	words := []string{"shoe", "shoes", "shop", "ship", "shore", "chore", "score", "a", "ab", "abc"}
+	for _, q := range []string{"shoe", "shos", "sho", "chores", "xyz", "", "a"} {
+		for maxDist := 0; maxDist <= 3; maxDist++ {
+			checkWalk(t, words, q, maxDist)
+		}
+	}
+}
+
+func TestWalkRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	alpha := "abcd"
+	randWord := func() string {
+		n := 1 + rng.Intn(7)
+		var b strings.Builder
+		for i := 0; i < n; i++ {
+			b.WriteByte(alpha[rng.Intn(len(alpha))])
+		}
+		return b.String()
+	}
+	for iter := 0; iter < 200; iter++ {
+		words := make([]string, 0, 30)
+		seen := make(map[string]bool)
+		for len(words) < 30 {
+			w := randWord()
+			if !seen[w] {
+				seen[w] = true
+				words = append(words, w)
+			}
+		}
+		q := randWord()
+		checkWalk(t, words, q, rng.Intn(3))
+	}
+}
+
+func TestWalkExactAtZero(t *testing.T) {
+	words := []string{"sponsored", "search", "auction"}
+	tr := NewTrie(words)
+	for _, w := range words {
+		visited := false
+		tr.Walk(w, 0, func(got string, d int) {
+			if got != w || d != 0 {
+				t.Errorf("Walk(%q, 0) visited (%q, %d)", w, got, d)
+			}
+			visited = true
+		})
+		if !visited {
+			t.Errorf("Walk(%q, 0) missed the exact word", w)
+		}
+	}
+}
+
+func TestVocabularyOverlay(t *testing.T) {
+	tr := NewTrie([]string{"shoe", "shop", "ship"})
+	v := NewVocabulary(tr, map[string]bool{"shop": true}, []string{"shot"})
+	if v.Has("shop") {
+		t.Error("banned word reported live")
+	}
+	if !v.Has("shoe") || !v.Has("shot") {
+		t.Error("live words missing")
+	}
+	got := v.Suggest("shop", 1)
+	want := []Candidate{{"shop", 0}, {"ship", 1}, {"shoe", 1}, {"shot", 1}}
+	// shop is banned: drop it from want.
+	want = want[1:]
+	if len(got) != len(want) {
+		t.Fatalf("Suggest = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Suggest = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestWordListMatchesVocabulary(t *testing.T) {
+	words := []string{"shoe", "shoes", "shop", "ship", "shore", "running"}
+	v := NewVocabulary(NewTrie(words), nil, nil)
+	l := WordList(words)
+	for _, q := range []string{"shoe", "shoos", "run", "runing"} {
+		for maxDist := 0; maxDist <= 2; maxDist++ {
+			a, b := v.Suggest(q, maxDist), l.Suggest(q, maxDist)
+			if len(a) != len(b) {
+				t.Fatalf("Suggest(%q,%d): vocab %v, wordlist %v", q, maxDist, a, b)
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("Suggest(%q,%d): vocab %v, wordlist %v", q, maxDist, a, b)
+				}
+			}
+			if v.Has(q) != l.Has(q) {
+				t.Fatalf("Has(%q) disagrees", q)
+			}
+		}
+	}
+}

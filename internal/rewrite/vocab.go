@@ -1,0 +1,108 @@
+package rewrite
+
+import "sort"
+
+// Candidate is one vocabulary word proposed as a replacement for a query
+// word, with its Levenshtein distance from that word.
+type Candidate struct {
+	Word     string
+	Distance int
+}
+
+// Source enumerates spelling candidates from a word universe. Suggest
+// returns every universe word within maxDist edits of word, sorted by
+// (distance ascending, word ascending); Has reports exact membership.
+// Implementations must be deterministic — the planner's output order (and
+// therefore budget clipping) follows Suggest order, and the simulation
+// oracle cross-checks the production Vocabulary against an independent
+// naive implementation (WordList).
+type Source interface {
+	Suggest(word string, maxDist int) []Candidate
+	Has(word string) bool
+}
+
+// Vocabulary is the word universe of one index snapshot: a trie over the
+// base index's words (shared by every snapshot published on that base, so
+// it is built once per fold/rebuild) plus the mutation overlay's
+// adjustments — banned base words whose last containing record was
+// tombstoned, and extra delta-only words. The overlay is bounded by
+// MaxDeltaAds, so banned and extra stay small and the linear passes over
+// them are cheap.
+type Vocabulary struct {
+	trie   *Trie
+	banned map[string]bool
+	extra  []string // sorted, distinct, disjoint from live trie words
+}
+
+// NewVocabulary assembles a snapshot vocabulary. banned may be nil; extra
+// must be sorted and distinct. Neither is copied.
+func NewVocabulary(trie *Trie, banned map[string]bool, extra []string) *Vocabulary {
+	return &Vocabulary{trie: trie, banned: banned, extra: extra}
+}
+
+// Has reports whether w is a live vocabulary word.
+func (v *Vocabulary) Has(w string) bool {
+	if v.banned[w] {
+		return false
+	}
+	if v.trie.Has(w) {
+		return true
+	}
+	i := sort.SearchStrings(v.extra, w)
+	return i < len(v.extra) && v.extra[i] == w
+}
+
+// Suggest returns every live vocabulary word within maxDist edits of
+// word, sorted by (distance, word).
+func (v *Vocabulary) Suggest(word string, maxDist int) []Candidate {
+	var out []Candidate
+	v.trie.Walk(word, maxDist, func(w string, d int) {
+		if !v.banned[w] {
+			out = append(out, Candidate{Word: w, Distance: d})
+		}
+	})
+	for _, w := range v.extra {
+		if d := Distance(word, w); d <= maxDist {
+			out = append(out, Candidate{Word: w, Distance: d})
+		}
+	}
+	sortCandidates(out)
+	return out
+}
+
+// WordList is a Source over a plain slice of distinct words, computing
+// every distance with the naive DP. It is the simulation oracle's
+// independent twin of Vocabulary: same contract, none of the shared
+// machinery (no trie, no pruning, no overlay bookkeeping).
+type WordList []string
+
+// Has reports membership by linear scan.
+func (l WordList) Has(w string) bool {
+	for _, x := range l {
+		if x == w {
+			return true
+		}
+	}
+	return false
+}
+
+// Suggest scans the whole list with the naive DP distance.
+func (l WordList) Suggest(word string, maxDist int) []Candidate {
+	var out []Candidate
+	for _, w := range l {
+		if d := Distance(word, w); d <= maxDist {
+			out = append(out, Candidate{Word: w, Distance: d})
+		}
+	}
+	sortCandidates(out)
+	return out
+}
+
+func sortCandidates(cs []Candidate) {
+	sort.Slice(cs, func(i, j int) bool {
+		if cs[i].Distance != cs[j].Distance {
+			return cs[i].Distance < cs[j].Distance
+		}
+		return cs[i].Word < cs[j].Word
+	})
+}

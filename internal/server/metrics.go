@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"adindex"
 	"adindex/internal/durable"
 )
 
@@ -167,9 +168,28 @@ type Registry struct {
 	// NotReady counts requests refused with 503 because durable recovery
 	// had not installed the index yet.
 	NotReady atomic.Uint64
+	// Rewrite-path totals, accumulated per approximate (rewrite=on)
+	// query: queries served, variants planned, index probes spent,
+	// queries whose expansion a budget clipped, and results contributed
+	// by fuzzy / synonym variants beyond the exact probe.
+	RewriteQueries, RewriteVariants, RewriteProbes atomic.Uint64
+	RewriteClipped                                 atomic.Uint64
+	RewriteFuzzyHits, RewriteSynonymHits           atomic.Uint64
 	// Latency is the end-to-end /search latency (queue wait + match +
 	// encode) for admitted requests.
 	Latency Histogram
+}
+
+// noteRewrite folds one rewritten query's stats into the registry.
+func (r *Registry) noteRewrite(st adindex.RewriteStats) {
+	r.RewriteQueries.Add(1)
+	r.RewriteVariants.Add(uint64(st.Variants))
+	r.RewriteProbes.Add(uint64(st.Probes))
+	if st.Clipped {
+		r.RewriteClipped.Add(1)
+	}
+	r.RewriteFuzzyHits.Add(uint64(st.FuzzyHits))
+	r.RewriteSynonymHits.Add(uint64(st.SynonymHits))
 }
 
 func (r *Registry) reqCounter(matchType string) *atomic.Uint64 {
@@ -206,12 +226,55 @@ type MetricsSnapshot struct {
 	NotReady      uint64            `json:"not_ready"`
 	Epoch         uint64            `json:"epoch"`
 	Latency       HistogramSnapshot `json:"latency"`
+	// Rewrite is present when the local index has approximate broad
+	// match enabled (even before the first rewritten query runs).
+	Rewrite *RewriteMetricsSnapshot `json:"rewrite,omitempty"`
 	// Backends is present in remote mode only: the distributed client's
 	// retry/breaker/degradation counters and per-shard replica health.
 	Backends *BackendsSnapshot `json:"backends,omitempty"`
 	// Durability is present for durable (or recovering) local servers:
 	// the recovery report from startup plus live persistence counters.
 	Durability *DurabilitySnapshot `json:"durability,omitempty"`
+}
+
+// RewriteMetricsSnapshot is the rewrite section of /metrics.
+type RewriteMetricsSnapshot struct {
+	Queries     uint64 `json:"queries"`
+	Variants    uint64 `json:"variants"`
+	Probes      uint64 `json:"probes"`
+	Clipped     uint64 `json:"clipped"`
+	FuzzyHits   uint64 `json:"fuzzy_hits"`
+	SynonymHits uint64 `json:"synonym_hits"`
+}
+
+func (r *Registry) rewriteSnapshot() *RewriteMetricsSnapshot {
+	return &RewriteMetricsSnapshot{
+		Queries:     r.RewriteQueries.Load(),
+		Variants:    r.RewriteVariants.Load(),
+		Probes:      r.RewriteProbes.Load(),
+		Clipped:     r.RewriteClipped.Load(),
+		FuzzyHits:   r.RewriteFuzzyHits.Load(),
+		SynonymHits: r.RewriteSynonymHits.Load(),
+	}
+}
+
+// rewriteStatsJSON is the per-response form of adindex.RewriteStats.
+type rewriteStatsJSON struct {
+	Variants    int  `json:"variants"`
+	Probes      int  `json:"probes"`
+	Clipped     bool `json:"clipped,omitempty"`
+	FuzzyHits   int  `json:"fuzzy_hits,omitempty"`
+	SynonymHits int  `json:"synonym_hits,omitempty"`
+}
+
+func newRewriteStatsJSON(st adindex.RewriteStats) *rewriteStatsJSON {
+	return &rewriteStatsJSON{
+		Variants:    st.Variants,
+		Probes:      st.Probes,
+		Clipped:     st.Clipped,
+		FuzzyHits:   st.FuzzyHits,
+		SynonymHits: st.SynonymHits,
+	}
 }
 
 // DurabilitySnapshot is the durability section of /metrics.

@@ -8,6 +8,7 @@
 // Endpoints:
 //
 //	GET  /search?q=...&type=broad|exact|phrase   retrieval (cached, admitted)
+//	     &rewrite=on|off                         approximate broad match (typo/synonym rewrites)
 //	POST /search/batch                           broad-match many queries on one snapshot
 //	POST /insert                                 add an ad (JSON body)
 //	POST /delete                                 remove an ad (JSON body)
@@ -370,6 +371,12 @@ type searchResponse struct {
 	Ads     []adindex.Ad `json:"ads"`
 	TookUS  int64        `json:"took_us"`
 
+	// Rewrite-mode fields: approximate broad match returns each ad with
+	// how it was reached (exact / synonym / fuzzy+distance) instead of
+	// bare ads, plus the per-query expansion stats.
+	Matches []adindex.Match   `json:"matches,omitempty"`
+	Rewrite *rewriteStatsJSON `json:"rewrite,omitempty"`
+
 	// Remote-mode fields: the distributed deployment serves IDs (+ per-ID
 	// metadata) rather than full ad records, and flags degradation.
 	IDs          []uint64             `json:"ids,omitempty"`
@@ -397,6 +404,19 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "type must be broad, exact, or phrase", http.StatusBadRequest)
 		return
 	}
+	rewriteMode := r.URL.Query().Get("rewrite")
+	switch rewriteMode {
+	case "", "off", "on":
+	default:
+		s.metrics.BadRequests.Add(1)
+		http.Error(w, "rewrite must be on or off", http.StatusBadRequest)
+		return
+	}
+	if rewriteMode == "on" && matchType != "broad" {
+		s.metrics.BadRequests.Add(1)
+		http.Error(w, "rewrite=on requires type=broad", http.StatusBadRequest)
+		return
+	}
 
 	// Admission: the deadline covers queue wait and execution.
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
@@ -416,12 +436,22 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	s.metrics.reqCounter(matchType).Add(1)
 
 	if s.remote != nil {
+		if rewriteMode == "on" {
+			s.metrics.BadRequests.Add(1)
+			http.Error(w, "rewrite is not supported in remote (distributed) mode",
+				http.StatusNotImplemented)
+			return
+		}
 		s.searchRemote(w, q, matchType, start)
 		return
 	}
 	ix := s.local()
 	if ix == nil {
 		s.notReady(w)
+		return
+	}
+	if rewriteMode == "on" {
+		s.searchRewrite(w, ix, q, start)
 		return
 	}
 
@@ -464,18 +494,55 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	s.metrics.Latency.Observe(time.Since(start))
 }
 
+// searchRewrite answers /search?rewrite=on with approximate broad match:
+// the exact probe plus the planner's typo/synonym variants, each result
+// tagged with how it was reached. Rewrite results bypass the result
+// cache (it stores bare ads keyed by the canonical word set; rewrite
+// answers depend on the vocabulary too) and apply SelectMatches — the
+// discount-aware auction — when the server is configured with Selection.
+func (s *Server) searchRewrite(w http.ResponseWriter, ix *adindex.Index, q string, start time.Time) {
+	if !ix.RewriteEnabled() {
+		s.metrics.BadRequests.Add(1)
+		http.Error(w, "rewrite is not enabled on this index (start with -rewrite)",
+			http.StatusBadRequest)
+		return
+	}
+	ix.Observe(q)
+	matches, rstats := ix.BroadMatchRewrite(q)
+	s.metrics.noteRewrite(rstats)
+	matched := len(matches)
+	if s.cfg.Selection != nil {
+		matches = adindex.SelectMatches(q, matches, *s.cfg.Selection)
+	}
+	took := time.Since(start)
+	s.writeJSON(w, searchResponse{
+		Query:   q,
+		Type:    "broad",
+		Matched: matched,
+		Matches: matches,
+		Rewrite: newRewriteStatsJSON(rstats),
+		TookUS:  took.Microseconds(),
+	})
+	s.metrics.Latency.Observe(time.Since(start))
+}
+
 // MaxBatchQueries bounds a single /search/batch request.
 const MaxBatchQueries = 256
 
 type batchRequest struct {
 	Queries []string `json:"queries"`
+	// Rewrite selects approximate broad match for the whole batch:
+	// "" or "off" for the exact cached path, "on" for typo/synonym
+	// rewrites (uncached, requires a rewrite-enabled index).
+	Rewrite string `json:"rewrite,omitempty"`
 }
 
 type batchResult struct {
-	Query   string       `json:"query"`
-	Matched int          `json:"matched"`
-	Cached  bool         `json:"cached"`
-	Ads     []adindex.Ad `json:"ads"`
+	Query   string          `json:"query"`
+	Matched int             `json:"matched"`
+	Cached  bool            `json:"cached"`
+	Ads     []adindex.Ad    `json:"ads"`
+	Matches []adindex.Match `json:"matches,omitempty"` // rewrite mode only
 }
 
 type batchResponse struct {
@@ -519,6 +586,13 @@ func (s *Server) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	switch req.Rewrite {
+	case "", "off", "on":
+	default:
+		s.metrics.BadRequests.Add(1)
+		http.Error(w, "rewrite must be on or off", http.StatusBadRequest)
+		return
+	}
 
 	// One admission slot covers the whole batch (a batch is one request's
 	// worth of work from the limiter's perspective).
@@ -545,6 +619,32 @@ func (s *Server) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	view := ix.View()
 	epoch := view.Epoch()
+	if req.Rewrite == "on" {
+		if !ix.RewriteEnabled() {
+			s.metrics.BadRequests.Add(1)
+			http.Error(w, "rewrite is not enabled on this index (start with -rewrite)",
+				http.StatusBadRequest)
+			return
+		}
+		results := make([]batchResult, len(req.Queries))
+		for i, q := range req.Queries {
+			ix.Observe(q)
+			matches, rstats := view.BroadMatchRewrite(q)
+			s.metrics.noteRewrite(rstats)
+			matched := len(matches)
+			if s.cfg.Selection != nil {
+				matches = adindex.SelectMatches(q, matches, *s.cfg.Selection)
+			}
+			results[i] = batchResult{Query: q, Matched: matched, Matches: matches}
+		}
+		s.writeJSON(w, batchResponse{
+			Epoch:   epoch,
+			Results: results,
+			TookUS:  time.Since(start).Microseconds(),
+		})
+		s.metrics.Latency.Observe(time.Since(start))
+		return
+	}
 	results := make([]batchResult, len(req.Queries))
 	var missIdx []int
 	var missQueries []string
@@ -721,6 +821,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	snap.Cache.Entries = s.cache.Len()
 	if ix := s.local(); ix != nil {
 		snap.Epoch = ix.Epoch()
+		if ix.RewriteEnabled() {
+			snap.Rewrite = s.metrics.rewriteSnapshot()
+		}
 		if stats, ok := ix.DurableStats(); ok {
 			d := &DurabilitySnapshot{Store: &stats, Recovery: s.recovery.Load()}
 			if err := ix.PersistErr(); err != nil {

@@ -12,6 +12,11 @@ type Config struct {
 
 	// Durable adds the crash-restarted durable target (requires Dir).
 	Durable bool `json:"durable"`
+	// Rewrite enables approximate broad match on every index target and
+	// makes the generator emit rewrite queries (typo-injected and
+	// synonym-substituted), each checked against the oracle's independent
+	// rewrite model (naive word list + the shared deterministic planner).
+	Rewrite bool `json:"rewrite"`
 	// Net adds the sharded/replicated TCP target behind fault proxies.
 	Net bool `json:"net"`
 	// Shards and Replicas shape the networked deployment. Defaults 2, 2.

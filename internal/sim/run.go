@@ -8,6 +8,7 @@ import (
 	"adindex"
 	"adindex/internal/corpus"
 	"adindex/internal/optimize"
+	"adindex/internal/rewrite"
 )
 
 // Failure is one oracle divergence (or in-run harness error): the op
@@ -50,7 +51,7 @@ func Run(cfg Config) (*Result, error) {
 // problem (e.g. a listen failure); divergences land in Result.Failure.
 func RunSchedule(cfg Config, sched Schedule) (*Result, error) {
 	cfg = cfg.withDefaults()
-	r := &runner{cfg: cfg}
+	r := &runner{cfg: cfg, rw: rewritePlanner(cfg)}
 	r.plain = adindex.New(indexOptions(cfg))
 	if cfg.Durable {
 		d, err := newDurTarget(cfg)
@@ -92,6 +93,7 @@ func RunSchedule(cfg Config, sched Schedule) (*Result, error) {
 type runner struct {
 	cfg    Config
 	oracle model
+	rw     *rewrite.Planner // oracle-side planner, nil unless cfg.Rewrite
 	plain  *adindex.Index
 	dur    *durTarget
 	net    *netTarget
@@ -136,7 +138,12 @@ func (r *runner) apply(i int, op *Op) *Failure {
 		}
 		r.checks++
 	case OpQuery:
-		return r.checkQuery(i, op.Query)
+		if f := r.checkQuery(i, op.Query); f != nil {
+			return f
+		}
+		if op.Rewrite {
+			return r.checkRewrite(i, op.Query)
+		}
 	case OpBatch:
 		results := r.plain.BroadMatchBatch(op.Queries)
 		for qi, q := range op.Queries {

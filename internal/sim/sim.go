@@ -111,6 +111,9 @@ type Op struct {
 	Queries []string   `json:"queries,omitempty"` // OpBatch, OpCompressed
 	Replica int        `json:"replica"`           // OpKill, OpHeal
 	Torn    bool       `json:"torn,omitempty"`    // OpCrash
+	// Rewrite additionally checks OpQuery through BroadMatchRewrite (and
+	// the discounted auction) against the oracle's rewrite model.
+	Rewrite bool `json:"rewrite,omitempty"` // OpQuery
 }
 
 // Schedule is a generated (or replayed) operation sequence.
@@ -172,6 +175,7 @@ func Generate(cfg Config) Schedule {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	vocab := corpus.MakeVocabulary(g.Vocab)
 	pool := makePool(rng, vocab, g)
+	classes := simClasses(vocab)
 
 	type choice struct {
 		kind   Kind
@@ -231,7 +235,16 @@ func Generate(cfg Config) Schedule {
 			}
 			ops = append(ops, Op{Kind: OpDelete, ID: pool[pi].ID, Phrase: pool[pi].Phrase})
 		case OpQuery, OpObserve:
-			ops = append(ops, Op{Kind: kind, Query: genQuery(rng, vocab, pool, live, g)})
+			op := Op{Kind: kind, Query: genQuery(rng, vocab, pool, live, g)}
+			if kind == OpQuery && cfg.Rewrite && rng.Intn(10) < 4 {
+				// Rewrite query: perturb with a typo or a synonym swap so
+				// the approximate path has real work to do. The extra rng
+				// draws happen only under cfg.Rewrite, so schedules of
+				// non-rewrite configs are byte-identical to before.
+				op.Query = perturbQuery(rng, op.Query, classes)
+				op.Rewrite = true
+			}
+			ops = append(ops, op)
 		case OpBatch, OpCompressed:
 			n := 2 + rng.Intn(3)
 			qs := make([]string, n)

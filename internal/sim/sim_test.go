@@ -206,3 +206,21 @@ func TestSimRegressionSeeds(t *testing.T) {
 		})
 	}
 }
+
+// rewriteRegressionSeeds pin rewrite-enabled schedules: ~40% of queries
+// are typo- or synonym-perturbed and checked through BroadMatchRewrite
+// plus the discounted auction (on the plain and crash-restarted durable
+// targets) against the oracle's independent rewrite model.
+var rewriteRegressionSeeds = []int64{3, 7, 13}
+
+func TestSimRewriteRegressionSeeds(t *testing.T) {
+	for _, seed := range rewriteRegressionSeeds {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			cfg := fullConfig(t, seed)
+			cfg.Gen.Ops = 100
+			cfg.Rewrite = true
+			runSeed(t, cfg)
+		})
+	}
+}

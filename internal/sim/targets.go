@@ -71,7 +71,14 @@ func (d *durTarget) close() {
 }
 
 func indexOptions(cfg Config) adindex.Options {
-	return adindex.Options{MaxWords: cfg.MaxWords, MaxDeltaAds: cfg.MaxDeltaAds}
+	opts := adindex.Options{MaxWords: cfg.MaxWords, MaxDeltaAds: cfg.MaxDeltaAds}
+	if cfg.Rewrite {
+		// Same deterministic synonym table and default budget as the
+		// oracle's planner — divergence then implicates the stack, not
+		// the configuration.
+		opts.Rewrite = &adindex.RewriteOptions{Synonyms: simClasses(corpus.MakeVocabulary(cfg.Gen.Vocab))}
+	}
+	return opts
 }
 
 // netTarget is the sharded, replicated TCP deployment: Replicas copies

@@ -22,6 +22,7 @@ import (
 	"strings"
 
 	"adindex/internal/corpus"
+	"adindex/internal/rewrite"
 	"adindex/internal/textnorm"
 )
 
@@ -124,6 +125,17 @@ type GenOptions struct {
 	// query (9–16 words) to exercise the subset-enumeration cutoff.
 	// Default 0.02.
 	LongQueryProb float64
+	// TypoRate is the probability a generated query carries a one-letter
+	// typo in one word, for evaluating approximate (fuzzy) broad match.
+	// Default 0 — no typos, byte-identical to pre-knob generation.
+	TypoRate float64
+	// SynonymRate is the probability a generated query substitutes one
+	// word with a member of its synonym class. Default 0.
+	SynonymRate float64
+	// Synonyms is the class table SynonymRate draws from; nil with a
+	// positive SynonymRate derives a table from the corpus vocabulary
+	// (DeriveClasses).
+	Synonyms *rewrite.Classes
 	// Seed makes generation deterministic.
 	Seed int64
 }
@@ -157,6 +169,12 @@ func Generate(c *corpus.Corpus, opts GenOptions) *Workload {
 		vocab = corpus.MakeVocabulary(100)
 	}
 
+	if opts.SynonymRate > 0 && opts.Synonyms == nil {
+		if classes, err := DeriveClasses(vocab); err == nil {
+			opts.Synonyms = classes
+		}
+	}
+
 	// Embed uniformly sampled *distinct word sets*: sampling ads directly
 	// would weight queries toward the corpus's giant head sets (Figure 2
 	// long tail), making every hot query return thousands of ads, which
@@ -167,6 +185,7 @@ func Generate(c *corpus.Corpus, opts GenOptions) *Workload {
 	queries := make([]Query, 0, opts.NumQueries)
 	for attempts := 0; len(queries) < opts.NumQueries && attempts < opts.NumQueries*20; attempts++ {
 		words := generateOne(rng, distinct, vocab, &opts)
+		words = perturbWords(rng, words, &opts)
 		if len(words) == 0 {
 			continue
 		}
@@ -221,6 +240,56 @@ func generateOne(rng *rand.Rand, distinct [][]string, vocab []string, opts *GenO
 		}
 	}
 	return textnorm.CanonicalSet(words)
+}
+
+// perturbWords applies the rewrite-evaluation knobs to one generated
+// query: a synonym-class substitution with probability SynonymRate,
+// otherwise a one-letter typo with probability TypoRate. Both rng draws
+// happen only when the corresponding rate is positive, so zero-knob
+// generation stays byte-identical across versions.
+func perturbWords(rng *rand.Rand, words []string, opts *GenOptions) []string {
+	if len(words) == 0 {
+		return words
+	}
+	if opts.SynonymRate > 0 && opts.Synonyms != nil && rng.Float64() < opts.SynonymRate {
+		var idxs []int
+		for i, w := range words {
+			if len(opts.Synonyms.Alternates(w)) > 0 {
+				idxs = append(idxs, i)
+			}
+		}
+		if len(idxs) > 0 {
+			i := idxs[rng.Intn(len(idxs))]
+			alts := opts.Synonyms.Alternates(words[i])
+			words[i] = alts[rng.Intn(len(alts))]
+			return textnorm.CanonicalSet(words)
+		}
+	}
+	if opts.TypoRate > 0 && rng.Float64() < opts.TypoRate {
+		i := rng.Intn(len(words))
+		r := []rune(words[i])
+		if len(r) >= 3 {
+			j := rng.Intn(len(r))
+			if r[j] >= 'a' && r[j] <= 'z' {
+				r[j] = 'a' + (r[j]-'a'+1+rune(rng.Intn(24)))%26
+				words[i] = string(r)
+				return textnorm.CanonicalSet(words)
+			}
+		}
+	}
+	return words
+}
+
+// DeriveClasses builds a small deterministic synonym table from a
+// vocabulary by pairing words at a fixed stride. adgen writes it out
+// (-synonyms-out) so a server evaluating the generated workload can load
+// the matching table with -synonyms.
+func DeriveClasses(vocab []string) (*rewrite.Classes, error) {
+	var classes [][]string
+	for i := 0; i+1 < len(vocab) && len(classes) < 32; i += 4 {
+		classes = append(classes, []string{vocab[i], vocab[i+1]})
+	}
+	return rewrite.NewClasses(classes)
 }
 
 // Write serializes the workload as "freq<TAB>words..." lines.

@@ -26,6 +26,65 @@ func TestGenerateDeterministic(t *testing.T) {
 	}
 }
 
+// TestGenerateRewriteKnobs: the typo/synonym knobs perturb queries
+// deterministically, and zero-valued knobs change nothing (no extra rng
+// draws), so pre-knob workloads regenerate byte-identically.
+func TestGenerateRewriteKnobs(t *testing.T) {
+	c := testCorpus(t)
+	base := Generate(c, GenOptions{NumQueries: 400, Seed: 7})
+	zero := Generate(c, GenOptions{NumQueries: 400, Seed: 7, TypoRate: 0, SynonymRate: 0})
+	if !reflect.DeepEqual(base, zero) {
+		t.Fatal("zero-valued rewrite knobs changed generation")
+	}
+
+	vocab := make(map[string]bool)
+	for _, w := range c.Vocabulary() {
+		vocab[w] = true
+	}
+
+	typo := Generate(c, GenOptions{NumQueries: 400, Seed: 7, TypoRate: 0.5})
+	again := Generate(c, GenOptions{NumQueries: 400, Seed: 7, TypoRate: 0.5})
+	if !reflect.DeepEqual(typo, again) {
+		t.Fatal("typo generation is not deterministic")
+	}
+	offVocab := 0
+	for i := range typo.Queries {
+		for _, w := range typo.Queries[i].Words {
+			if !vocab[w] {
+				offVocab++
+				break
+			}
+		}
+	}
+	if offVocab == 0 {
+		t.Fatal("TypoRate=0.5 produced no out-of-vocabulary words")
+	}
+
+	classes, err := DeriveClasses(c.Vocabulary())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if classes.NumClasses() == 0 {
+		t.Fatal("DeriveClasses built no classes from the corpus vocabulary")
+	}
+	syn := Generate(c, GenOptions{NumQueries: 400, Seed: 7, SynonymRate: 1})
+	if reflect.DeepEqual(syn, base) {
+		t.Fatal("SynonymRate=1 changed nothing")
+	}
+	synSub := 0
+	for i := range syn.Queries {
+		for _, w := range syn.Queries[i].Words {
+			if len(classes.Alternates(w)) > 0 {
+				synSub++
+				break
+			}
+		}
+	}
+	if synSub == 0 {
+		t.Fatal("SynonymRate=1 produced no queries containing class members")
+	}
+}
+
 func TestGenerateCountAndDistinct(t *testing.T) {
 	c := testCorpus(t)
 	wl := Generate(c, GenOptions{NumQueries: 1000, Seed: 1})

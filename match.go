@@ -7,6 +7,7 @@ import (
 	"adindex/internal/core"
 	"adindex/internal/corpus"
 	"adindex/internal/costmodel"
+	"adindex/internal/rewrite"
 	"adindex/internal/textnorm"
 )
 
@@ -29,6 +30,16 @@ type snapshot struct {
 	// deleted is the total count of base records suppressed by tombs.
 	deleted int
 	epoch   uint64
+
+	// bv is the shared lazy vocabulary trie of this snapshot's base,
+	// attached by publish and inherited by every snapshot published on the
+	// same base, so the trie is built at most once per fold/rebuild.
+	bv *baseVocab
+	// vocab is this snapshot's lazily computed live word universe (the
+	// base trie adjusted for overlay inserts and tombstones), guarded by
+	// vocabOnce. Only the rewrite path touches it.
+	vocabOnce sync.Once
+	vocab     *rewrite.Vocabulary
 }
 
 // tombKey identifies a deleted base record: core deletion semantics match
@@ -263,6 +274,10 @@ func appendAdCopies(dst []Ad, matches []*corpus.Ad) []Ad {
 		ad := *m
 		arena, ad.Words = appendArena(arena, m.Words)
 		arena, ad.Meta.Exclusions = appendArena(arena, m.Meta.Exclusions)
+		// Copy-out is where matches become auction input: cache the
+		// exclusion word sets once here so selection never re-tokenizes
+		// them per query-word check.
+		ad.Meta.RefreshExclusionSets()
 		dst = append(dst, ad)
 	}
 	return dst
@@ -300,6 +315,7 @@ func deepCopyAdStrings(ads []Ad) {
 	for i := range ads {
 		arena, ads[i].Words = appendArena(arena, ads[i].Words)
 		arena, ads[i].Meta.Exclusions = appendArena(arena, ads[i].Meta.Exclusions)
+		ads[i].Meta.RefreshExclusionSets()
 	}
 }
 
@@ -312,12 +328,15 @@ func deepCopyAdStrings(ads []Ad) {
 // Index.View — the zero View is not usable.
 type View struct {
 	s *snapshot
+	// rw is the index's rewrite planner (nil when rewriting is disabled);
+	// carried on the View so BroadMatchRewrite needs no Index reference.
+	rw *rewrite.Planner
 }
 
 // View returns a consistent view of the index's current state. It is a
 // single atomic load and never blocks.
 func (ix *Index) View() View {
-	return View{s: ix.snap.Load()}
+	return View{s: ix.snap.Load(), rw: ix.rewriter}
 }
 
 // Epoch returns the mutation epoch of the viewed snapshot.

@@ -66,13 +66,14 @@ func OpenDurable(dir string, opts Options, dc DurableConfig) (*Index, *durable.R
 	ix := &Index{
 		opts:     opts,
 		observed: newObserveSampler(opts.maxObserved()),
+		rewriter: opts.planner(),
 	}
 	base, err := core.NewWithMapping(rec.Ads, rec.Mapping, opts.coreOptions())
 	if err != nil {
 		store.Close()
 		return nil, nil, fmt.Errorf("adindex: rebuild from snapshot: %w", err)
 	}
-	ix.snap.Store(&snapshot{base: base, epoch: rec.Epoch})
+	ix.publish(&snapshot{base: base, epoch: rec.Epoch})
 	// Replay the WAL through the real mutation path — the store is not
 	// attached yet, so replay is not re-logged. Each record advances the
 	// epoch exactly as the live mutation did.
@@ -94,7 +95,7 @@ func OpenDurable(dir string, opts Options, dc DurableConfig) (*Index, *durable.R
 
 	if report.Fresh && len(dc.Bootstrap) > 0 {
 		ix.mu.Lock()
-		ix.snap.Store(&snapshot{base: core.New(dc.Bootstrap, opts.coreOptions())})
+		ix.publish(&snapshot{base: core.New(dc.Bootstrap, opts.coreOptions())})
 		err := ix.snapshotLocked()
 		ix.mu.Unlock()
 		if err != nil {
