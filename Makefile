@@ -13,10 +13,10 @@
 
 GO ?= go
 
-.PHONY: check vet build test race recovery-smoke simsmoke soak cover \
-	fuzzsmoke benchsmoke bench clean
+.PHONY: check vet build test race recovery-smoke simsmoke migratesmoke soak \
+	cover fuzzsmoke benchsmoke bench bench-reshard clean
 
-check: vet build test race recovery-smoke simsmoke fuzzsmoke benchsmoke
+check: vet build test race recovery-smoke simsmoke migratesmoke fuzzsmoke benchsmoke
 
 vet:
 	$(GO) vet ./...
@@ -30,7 +30,7 @@ test:
 race:
 	$(GO) test -race -short . ./internal/server ./internal/multiserver \
 		./internal/faultnet ./internal/shard ./internal/durable ./internal/diskfault \
-		./internal/rewrite
+		./internal/rewrite ./internal/sim ./internal/simclock
 
 # The crash-recovery stress skips under -short (it forks and SIGKILLs a
 # child), so the smoke target runs it explicitly, under the race
@@ -47,6 +47,13 @@ recovery-smoke:
 # internal/sim/sim_test.go (see TESTING.md for the replay workflow).
 simsmoke:
 	$(GO) test -race -short -run 'TestSim' ./internal/sim
+
+# Elastic-resharding regression gate: the pinned migration seeds and the
+# handcrafted split/migrate/merge scenario from internal/sim, which
+# interleave live handoffs with replica kills, partitions, and
+# mid-handoff mutations, under the race detector.
+migratesmoke:
+	$(GO) test -race -run 'TestSimElastic' -v ./internal/sim
 
 # Longer randomized soak: more ops per schedule and a block of seeds
 # that rotates daily (seedbase = days since epoch), so successive days
@@ -83,6 +90,14 @@ benchsmoke:
 bench:
 	$(GO) run ./cmd/adbench -experiment perf -ads 20000 -queries 5000 \
 		-stream 50000 -out BENCH_PR3.json
+
+# Serving quality across a live topology change (split, migrate, merge
+# under closed-loop load); writes BENCH_PR7.json, quoted in README
+# "Online resharding". Acceptance: p99(during) <= 2x p99(before), zero
+# hard query failures.
+bench-reshard:
+	$(GO) run ./cmd/adbench -experiment reshard -ads 20000 -queries 5000 \
+		-stream 20000 -reshard-out BENCH_PR7.json
 
 clean:
 	$(GO) clean ./...

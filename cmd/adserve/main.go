@@ -25,6 +25,15 @@
 //	        -ad-server 127.0.0.1:9010 -allow-partial \
 //	        -net-timeout 2s -net-retries 2 -hedge-after 20ms
 //
+// Elastic (live-reshardable) usage:
+//
+//	# one process: N-shard cluster over TCP positions + routed front-end;
+//	# split/merge/migrate run live with epoch-routed atomic cutover
+//	adserve -corpus corpus.tsv -elastic 2 -addr :8077
+//	curl -X POST 'http://localhost:8077/admin/rebalance?op=split'        # hottest shard
+//	curl -X POST 'http://localhost:8077/admin/rebalance?op=migrate&from=0&to=2'
+//	curl 'http://localhost:8077/admin/rebalance'                         # status
+//
 // Endpoints (see internal/server):
 //
 //	/search?q=...&type=broad|exact|phrase   retrieval (cached, admitted)
@@ -40,6 +49,7 @@ package main
 
 import (
 	"flag"
+	"fmt"
 	"log"
 	"os"
 	"strings"
@@ -98,6 +108,17 @@ func main() {
 	tcpIndex := flag.String("tcp-index", "", "also serve the index over the TCP frame protocol on this address")
 	tcpAd := flag.String("tcp-ad", "", "also serve ad metadata over the TCP frame protocol on this address")
 
+	// Elastic (live-reshardable) mode: one process hosting an
+	// ElasticCluster with every shard position served over TCP, fronted
+	// by its own routed client. Split/merge/migrate run live via
+	// POST /admin/rebalance with zero downtime (epoch-routed cutover).
+	elasticShards := flag.Int("elastic", 0,
+		"elastic mode: initial shard count for a live-reshardable cluster built from -corpus (0 disables)")
+	elasticMaxShards := flag.Int("elastic-max-shards", 0,
+		"elastic mode: shard-count ceiling (pre-provisioned TCP positions; 0 = default 8)")
+	elasticSlots := flag.Int("elastic-slots", 0,
+		fmt.Sprintf("elastic mode: routing slot-universe size (0 = default %d)", shard.DefaultSlots))
+
 	// Remote (distributed front-end) mode.
 	shards := flag.String("shards", "",
 		"remote mode: index shard addresses, shards separated by ';', replicas of one shard by ','")
@@ -155,6 +176,37 @@ func main() {
 		}
 		log.Printf("approximate broad match enabled (variants=%d, probes=%d; 0 = default)",
 			*rewriteMaxVariants, *rewriteMaxProbes)
+	}
+
+	if *elasticShards > 0 {
+		switch {
+		case *shards != "":
+			log.Fatal("-elastic is incompatible with -shards: the elastic node hosts its own cluster")
+		case *dataDir != "":
+			log.Fatal("-elastic is incompatible with -data-dir: the elastic cluster is not durable yet")
+		case rewriteOpts != nil:
+			log.Fatal("-elastic is incompatible with -rewrite/-synonyms: rewrite runs on a local index")
+		case *tcpIndex != "":
+			log.Fatal("-elastic is incompatible with -tcp-index: shard positions already serve the TCP index protocol")
+		}
+		runElastic(cfg, elasticFlags{
+			shards:           *elasticShards,
+			maxShards:        *elasticMaxShards,
+			slots:            *elasticSlots,
+			corpus:           *corpusPath,
+			addr:             *addr,
+			tcpAd:            *tcpAd,
+			maxWords:         *maxWords,
+			timeout:          *netTimeout,
+			retries:          *netRetries,
+			retryBase:        *retryBase,
+			breakerThreshold: *breakerThreshold,
+			breakerCooldown:  *breakerCooldown,
+			hedgeAfter:       *hedgeAfter,
+			allowPartial:     *allowPartial,
+			minLiveShards:    *minLiveShards,
+		})
+		return
 	}
 
 	if *dataDir != "" {

@@ -303,6 +303,45 @@ func (ix *Index) Mapping() map[string][]string {
 	return out
 }
 
+// AppendAds appends a copy of every indexed advertisement to dst and
+// returns it, in no particular order. It is the cheap capture primitive
+// for callers that must copy atomically inside a critical section and
+// can sort or filter outside it; Ads keeps the sorted contract for
+// rebuild paths.
+func (ix *Index) AppendAds(dst []corpus.Ad) []corpus.Ad {
+	if cap(dst)-len(dst) < ix.numAds {
+		grown := make([]corpus.Ad, len(dst), len(dst)+ix.numAds)
+		copy(grown, dst)
+		dst = grown
+	}
+	for _, n := range ix.table {
+		dst = append(dst, n.records...)
+	}
+	return dst
+}
+
+// AppendAdsChunks passes a copy of every indexed advertisement to fn in
+// chunks of at most n, in no particular order. Unlike Ads it never
+// sorts, and a caller that pauses inside fn bounds how long the copy
+// monopolizes a CPU; the chunk slice is reused across calls, so fn must
+// copy out anything it keeps. The caller must prevent concurrent
+// mutation for the whole call (fn interleaves with a live iteration).
+func (ix *Index) AppendAdsChunks(n int, fn func([]corpus.Ad)) {
+	chunk := make([]corpus.Ad, 0, n)
+	for _, node := range ix.table {
+		for _, r := range node.records {
+			chunk = append(chunk, r)
+			if len(chunk) == n {
+				fn(chunk)
+				chunk = chunk[:0]
+			}
+		}
+	}
+	if len(chunk) > 0 {
+		fn(chunk)
+	}
+}
+
 // Ads returns a copy of all indexed advertisements (in node order). It is
 // primarily used to rebuild an index under a new mapping.
 func (ix *Index) Ads() []corpus.Ad {

@@ -1,0 +1,125 @@
+package faultnet
+
+import (
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// countingEchoServer is echoServer plus a served-request counter, so a
+// test can tell whether a request crossed the cut or died before the
+// backend.
+func countingEchoServer(t *testing.T) (addr string, served *atomic.Int64, closeFn func()) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	served = &atomic.Int64{}
+	done := make(chan struct{})
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				close(done)
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				for {
+					frame, err := readRawFrame(c)
+					if err != nil {
+						return
+					}
+					served.Add(1)
+					if _, err := c.Write(frame); err != nil {
+						return
+					}
+				}
+			}(conn)
+		}
+	}()
+	return ln.Addr().String(), served, func() { ln.Close(); <-done }
+}
+
+// An asymmetric cut toward the backend: the request evaporates before
+// the backend, the client times out, and healing restores service on
+// the same connection.
+func TestPartitionOneWayToBackend(t *testing.T) {
+	addr, served, stop := countingEchoServer(t)
+	defer stop()
+	p, err := New(addr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	conn := dialProxy(t, p)
+	defer conn.Close()
+
+	if _, err := exchange(conn, []byte("pre"), time.Second); err != nil {
+		t.Fatalf("pre-cut exchange: %v", err)
+	}
+	if served.Load() != 1 {
+		t.Fatalf("backend served %d, want 1", served.Load())
+	}
+
+	p.PartitionOneWay(ToBackend)
+	if _, err := exchange(conn, []byte("lost"), 100*time.Millisecond); err == nil {
+		t.Fatalf("exchange across a to-backend cut succeeded")
+	}
+	// The defining property of this direction: the backend never saw it.
+	if served.Load() != 1 {
+		t.Fatalf("backend served %d requests across a to-backend cut, want 1", served.Load())
+	}
+	if p.Faults() == 0 {
+		t.Fatalf("one-way drop not counted as a fault")
+	}
+
+	p.Heal()
+	if _, err := exchange(conn, []byte("post"), time.Second); err != nil {
+		t.Fatalf("post-heal exchange: %v", err)
+	}
+	if served.Load() != 2 {
+		t.Fatalf("backend served %d after heal, want 2", served.Load())
+	}
+}
+
+// An asymmetric cut from the backend: the request is executed (the
+// backend's counter advances) but the response is swallowed — the
+// ACK-loss half, where a timeout does NOT imply the work didn't happen.
+func TestPartitionOneWayFromBackend(t *testing.T) {
+	addr, served, stop := countingEchoServer(t)
+	defer stop()
+	p, err := New(addr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	conn := dialProxy(t, p)
+	defer conn.Close()
+
+	if _, err := exchange(conn, []byte("pre"), time.Second); err != nil {
+		t.Fatalf("pre-cut exchange: %v", err)
+	}
+
+	p.PartitionOneWay(FromBackend)
+	if _, err := exchange(conn, []byte("ack lost"), 100*time.Millisecond); err == nil {
+		t.Fatalf("exchange across a from-backend cut succeeded")
+	}
+	// The defining property of this direction: the backend DID the work.
+	if served.Load() != 2 {
+		t.Fatalf("backend served %d requests across a from-backend cut, want 2", served.Load())
+	}
+	if p.Faults() == 0 {
+		t.Fatalf("one-way drop not counted as a fault")
+	}
+
+	p.Heal()
+	if resp, err := exchange(conn, []byte("post"), time.Second); err != nil || string(resp) != "post" {
+		t.Fatalf("post-heal exchange = %q, %v", resp, err)
+	}
+	if served.Load() != 3 {
+		t.Fatalf("backend served %d after heal, want 3", served.Load())
+	}
+}

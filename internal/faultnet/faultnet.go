@@ -159,6 +159,8 @@ type Proxy struct {
 	mu          sync.Mutex
 	policy      FaultPolicy
 	partitioned bool
+	dropToB     bool // one-way cut: requests never reach the backend
+	dropFromB   bool // one-way cut: responses never reach the client
 	closed      bool
 	conns       map[net.Conn]struct{}
 	wg          sync.WaitGroup
@@ -212,11 +214,50 @@ func (p *Proxy) Partition() {
 	p.mu.Unlock()
 }
 
-// Heal ends a Partition; new connections proxy normally again.
+// Direction selects which half of the wire an asymmetric partition cuts.
+type Direction int
+
+const (
+	// ToBackend drops request frames: the backend never sees the request
+	// and the client hangs until its own deadline fires. The backend's
+	// responses to nothing are moot — the classic "I can hear you but you
+	// can't hear me" toward the server.
+	ToBackend Direction = iota
+	// FromBackend forwards requests but swallows responses: the backend
+	// executes the work (its request counters advance) while the client
+	// times out — ACK loss, the half that turns retries into duplicates.
+	FromBackend
+)
+
+// PartitionOneWay cuts a single direction of the wire while leaving the
+// other intact. Unlike Partition it does not close existing connections:
+// bytes in the cut direction silently stop arriving, which is how real
+// asymmetric routing failures present. Heal restores both directions.
+func (p *Proxy) PartitionOneWay(d Direction) {
+	p.mu.Lock()
+	switch d {
+	case ToBackend:
+		p.dropToB = true
+	case FromBackend:
+		p.dropFromB = true
+	}
+	p.mu.Unlock()
+}
+
+// Heal ends a Partition or PartitionOneWay; traffic flows normally again
+// (existing connections included, for one-way cuts).
 func (p *Proxy) Heal() {
 	p.mu.Lock()
 	p.partitioned = false
+	p.dropToB = false
+	p.dropFromB = false
 	p.mu.Unlock()
+}
+
+func (p *Proxy) onewayState() (toB, fromB bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.dropToB, p.dropFromB
 }
 
 // Close stops the proxy and closes all connections.
@@ -293,6 +334,15 @@ func (p *Proxy) handle(client net.Conn) {
 		if err != nil {
 			return
 		}
+		toB, fromB := p.onewayState()
+		if toB {
+			// One-way cut toward the backend: the request evaporates and the
+			// connection stays open. The client blocks on the response until
+			// its deadline; the loop keeps draining whatever it sends next.
+			p.exchanges.Add(1)
+			p.faults.Add(1)
+			continue
+		}
 		op := p.currentPolicy().Next(int(p.exchanges.Add(1) - 1))
 		if op.faulty() {
 			p.faults.Add(1)
@@ -307,6 +357,12 @@ func (p *Proxy) handle(client net.Conn) {
 		resp, err := readRawFrame(backend)
 		if err != nil {
 			return
+		}
+		if fromB {
+			// One-way cut from the backend: the work was done (the backend
+			// answered) but the response evaporates — ACK loss.
+			p.faults.Add(1)
+			continue
 		}
 		if op.Delay > 0 {
 			time.Sleep(op.Delay)

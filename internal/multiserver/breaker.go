@@ -73,6 +73,9 @@ func NewBreakerAt(threshold int, cooldown time.Duration, now func() time.Time) *
 	return &Breaker{threshold: threshold, cooldown: cooldown, now: now}
 }
 
+// Cooldown returns the configured open-state cooldown (after defaults).
+func (b *Breaker) Cooldown() time.Duration { return b.cooldown }
+
 // Allow reports whether a request may proceed. In the half-open state
 // only one in-flight probe is admitted at a time.
 func (b *Breaker) Allow() bool {

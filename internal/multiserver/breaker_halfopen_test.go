@@ -1,0 +1,90 @@
+package multiserver
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"adindex/internal/simclock"
+)
+
+// concurrentAllow fires n Allow calls through a start barrier so they
+// race for the half-open probe slot, and returns how many were admitted.
+func concurrentAllow(b *Breaker, n int) int {
+	start := make(chan struct{})
+	results := make([]bool, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			results[i] = b.Allow()
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+	admitted := 0
+	for _, ok := range results {
+		if ok {
+			admitted++
+		}
+	}
+	return admitted
+}
+
+// A cooled-down breaker hit by many concurrent requests must admit
+// exactly one half-open probe; the losers fail fast. Clock transitions
+// are driven by simclock — no sleeps anywhere.
+func TestBreakerConcurrentHalfOpenProbes(t *testing.T) {
+	clk := simclock.NewFake()
+	b := NewBreakerAt(3, time.Second, clk.Now)
+
+	// Trip it.
+	for i := 0; i < 3; i++ {
+		b.Failure()
+	}
+	if b.State() != BreakerOpen || b.Allow() {
+		t.Fatalf("breaker not open after threshold failures: %v", b.State())
+	}
+
+	// Cooldown elapses; 16 requests race for the probe slot.
+	clk.Advance(time.Second)
+	if got := concurrentAllow(b, 16); got != 1 {
+		t.Fatalf("half-open admitted %d concurrent probes, want exactly 1", got)
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state after probe admission = %v, want half-open", b.State())
+	}
+	// While the probe is in flight every further request fails fast.
+	if b.Allow() {
+		t.Fatalf("second probe admitted while one is in flight")
+	}
+
+	// The probe fails: breaker re-opens for a full new cooldown.
+	b.Failure()
+	if b.State() != BreakerOpen || b.Allow() {
+		t.Fatalf("failed probe did not re-open the breaker")
+	}
+	clk.Advance(time.Second - time.Millisecond)
+	if b.Allow() {
+		t.Fatalf("probe admitted before the new cooldown elapsed")
+	}
+	clk.Advance(time.Millisecond)
+
+	// Second half-open round: again exactly one of many, and this time
+	// the probe succeeds, closing the breaker for everyone.
+	if got := concurrentAllow(b, 16); got != 1 {
+		t.Fatalf("second half-open round admitted %d probes, want 1", got)
+	}
+	b.Success()
+	if b.State() != BreakerClosed {
+		t.Fatalf("state after successful probe = %v, want closed", b.State())
+	}
+	if got := concurrentAllow(b, 16); got != 16 {
+		t.Fatalf("closed breaker admitted %d/16", got)
+	}
+	if b.Opens() != 2 {
+		t.Fatalf("opens = %d, want 2", b.Opens())
+	}
+}

@@ -76,6 +76,15 @@ func (o ConnOpts) withDefaults() ConnOpts {
 // breaker is open and the request failed fast without touching the wire.
 var ErrBreakerOpen = errors.New("multiserver: circuit breaker open")
 
+// isAppLevel reports whether err is an application-level response from a
+// live backend (error frame or stale-epoch rejection) rather than a
+// transport failure: no retry, no reconnect, no breaker penalty.
+func isAppLevel(err error) bool {
+	var se *ServerError
+	var stale *StaleEpochError
+	return errors.As(err, &se) || errors.As(err, &stale)
+}
+
 // ConnStats counts a connection's fault-handling activity.
 type ConnStats struct {
 	Exchanges  uint64 // exchanges attempted (after breaker admission)
@@ -177,8 +186,9 @@ func (c *Conn) Exchange(req []byte) ([]byte, error) {
 			c.breaker.Success()
 			return resp, nil
 		}
-		var se *ServerError
-		if errors.As(err, &se) {
+		if isAppLevel(err) {
+			// The backend answered (an error frame or a typed stale-epoch
+			// rejection): it is alive, so no retry and no breaker failure.
 			c.breaker.Success()
 			return nil, err
 		}
@@ -197,6 +207,28 @@ func (c *Conn) Exchange(req []byte) ([]byte, error) {
 	}
 	c.failures.Add(1)
 	return nil, fmt.Errorf("multiserver: exchange with %s: %w", c.addr, lastErr)
+}
+
+// Probe is a single forced attempt against a possibly-open breaker: no
+// admission check, no retries. Callers use it when every candidate
+// backend fast-failed breaker-open, so refusing to transmit would turn
+// stale breaker state into a query failure — e.g. a backend that healed
+// within the cooldown while its peers died. Success and failure feed
+// the breaker exactly like Exchange, so a successful probe closes it.
+func (c *Conn) Probe(req []byte) ([]byte, error) {
+	c.exchanges.Add(1)
+	resp, err := c.exchangeOnce(req)
+	if err == nil {
+		c.breaker.Success()
+		return resp, nil
+	}
+	if isAppLevel(err) {
+		c.breaker.Success()
+		return nil, err
+	}
+	c.breaker.Failure()
+	c.failures.Add(1)
+	return nil, fmt.Errorf("multiserver: probe of %s: %w", c.addr, err)
 }
 
 // backoff returns the delay before retry attempt+1: RetryBase doubled
@@ -236,10 +268,9 @@ func (c *Conn) exchangeOnce(req []byte) ([]byte, error) {
 	}
 	resp, err := readResponse(c.c)
 	if err != nil {
-		var se *ServerError
-		if errors.As(err, &se) {
-			// Application error: the stream is still in sync; keep the
-			// connection.
+		if isAppLevel(err) {
+			// Application-level error: the stream is still in sync; keep
+			// the connection.
 			c.c.SetDeadline(time.Time{})
 			return nil, err
 		}

@@ -71,8 +71,9 @@ func (b InvertedBackend) MatchIDs(query string) []uint64 {
 // valid empty metadata response.
 
 const (
-	statusOK    = 0x00
-	statusError = 0x01
+	statusOK         = 0x00
+	statusError      = 0x01
+	statusStaleEpoch = 0x02
 )
 
 // ServerError is an application-level error reported by a backend in an
@@ -83,6 +84,59 @@ type ServerError struct{ Msg string }
 
 // Error implements error.
 func (e *ServerError) Error() string { return "multiserver: server error: " + e.Msg }
+
+// ErrStaleEpoch is the sentinel matched by errors.Is when a backend
+// rejects a request tagged with an out-of-date routing epoch. The
+// concrete error is a *StaleEpochError carrying both epochs.
+var ErrStaleEpoch = errors.New("multiserver: stale routing epoch")
+
+// StaleEpochError is the typed rejection a backend returns for a request
+// tagged with a routing epoch different from its own. Like ServerError
+// it is application-level: the backend is alive and the stream stays in
+// sync, so the client must not retry blindly or count it against the
+// circuit breaker — the correct reaction is to refresh the routing table
+// and re-issue the request under the current epoch.
+type StaleEpochError struct {
+	// ClientEpoch is the epoch the rejected request carried.
+	ClientEpoch uint64
+	// ServerEpoch is the backend's current routing epoch.
+	ServerEpoch uint64
+}
+
+// Error implements error.
+func (e *StaleEpochError) Error() string {
+	return fmt.Sprintf("multiserver: stale routing epoch %d (server at %d)", e.ClientEpoch, e.ServerEpoch)
+}
+
+// Is matches ErrStaleEpoch so callers can test with errors.Is.
+func (e *StaleEpochError) Is(target error) bool { return target == ErrStaleEpoch }
+
+// epochReqMagic prefixes epoch-tagged requests. Plain query texts are
+// normalized words and never start with this byte, so an epoch-checking
+// server can also serve untagged legacy requests unchecked.
+const epochReqMagic = 0xEB
+
+// EncodeEpochRequest tags a request body with the client's routing
+// epoch: magic byte, 8-byte big-endian epoch, body.
+func EncodeEpochRequest(epoch uint64, body []byte) []byte {
+	buf := make([]byte, 9+len(body))
+	buf[0] = epochReqMagic
+	binary.BigEndian.PutUint64(buf[1:9], epoch)
+	copy(buf[9:], body)
+	return buf
+}
+
+// DecodeEpochRequest splits an epoch-tagged request into epoch and body,
+// reporting tagged=false for legacy untagged requests.
+func DecodeEpochRequest(req []byte) (epoch uint64, body []byte, tagged bool, err error) {
+	if len(req) == 0 || req[0] != epochReqMagic {
+		return 0, req, false, nil
+	}
+	if len(req) < 9 {
+		return 0, nil, true, fmt.Errorf("multiserver: epoch request of %d bytes shorter than its 9-byte header", len(req))
+	}
+	return binary.BigEndian.Uint64(req[1:9]), req[9:], true, nil
+}
 
 func writeFrame(w io.Writer, payload []byte) error {
 	var hdr [4]byte
@@ -110,8 +164,18 @@ func readFrame(r io.Reader) ([]byte, error) {
 	return payload, nil
 }
 
-// writeResponse frames a handler result with its status byte.
+// writeResponse frames a handler result with its status byte. A
+// *StaleEpochError becomes a typed stale-epoch frame carrying both
+// epochs; any other handler error becomes a generic error frame.
 func writeResponse(w io.Writer, body []byte, herr error) error {
+	var stale *StaleEpochError
+	if errors.As(herr, &stale) {
+		buf := make([]byte, 17)
+		buf[0] = statusStaleEpoch
+		binary.BigEndian.PutUint64(buf[1:9], stale.ClientEpoch)
+		binary.BigEndian.PutUint64(buf[9:17], stale.ServerEpoch)
+		return writeFrame(w, buf)
+	}
 	if herr != nil {
 		msg := herr.Error()
 		buf := make([]byte, 1+len(msg))
@@ -140,6 +204,14 @@ func readResponse(r io.Reader) ([]byte, error) {
 		return payload[1:], nil
 	case statusError:
 		return nil, &ServerError{Msg: string(payload[1:])}
+	case statusStaleEpoch:
+		if len(payload) != 17 {
+			return nil, fmt.Errorf("multiserver: stale-epoch frame of %d bytes, want 17", len(payload))
+		}
+		return nil, &StaleEpochError{
+			ClientEpoch: binary.BigEndian.Uint64(payload[1:9]),
+			ServerEpoch: binary.BigEndian.Uint64(payload[9:17]),
+		}
 	default:
 		return nil, fmt.Errorf("multiserver: unknown response status 0x%02x", payload[0])
 	}
@@ -332,6 +404,39 @@ func DecodeMeta(data []byte) ([]AdMeta, error) { return decodeMeta(data) }
 func NewIndexServer(addr string, opts ServeOpts, backend Backend) (*Server, error) {
 	return Serve(addr, opts, func(req []byte) ([]byte, error) {
 		return encodeIDs(backend.MatchIDs(string(req))), nil
+	})
+}
+
+// EpochBackend answers broad-match queries under a routing-epoch check.
+// The implementation must perform the check and the match atomically
+// (under whatever lock protects its routing state) and return a
+// *StaleEpochError when a tagged epoch is out of date.
+type EpochBackend interface {
+	// MatchIDsAtEpoch returns the matching ad IDs for query. With tagged
+	// set, the request carried epoch and must be rejected with a
+	// *StaleEpochError if it differs from the backend's current routing
+	// epoch; untagged requests are served unchecked.
+	MatchIDsAtEpoch(epoch uint64, tagged bool, query string) ([]uint64, error)
+}
+
+// NewEpochIndexServer starts an index server that participates in
+// versioned routing: epoch-tagged requests (EncodeEpochRequest) are
+// answered only under a matching routing epoch — otherwise the client
+// gets a typed *StaleEpochError frame telling it to refresh its routing
+// table and retry. Untagged requests are served unchecked, so legacy
+// clients keep working against an elastic deployment (at the cost of
+// missing post-cutover rebalances).
+func NewEpochIndexServer(addr string, opts ServeOpts, backend EpochBackend) (*Server, error) {
+	return Serve(addr, opts, func(req []byte) ([]byte, error) {
+		reqEpoch, body, tagged, err := DecodeEpochRequest(req)
+		if err != nil {
+			return nil, err
+		}
+		ids, err := backend.MatchIDsAtEpoch(reqEpoch, tagged, string(body))
+		if err != nil {
+			return nil, err
+		}
+		return encodeIDs(ids), nil
 	})
 }
 

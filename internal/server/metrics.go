@@ -12,6 +12,7 @@ import (
 
 	"adindex"
 	"adindex/internal/durable"
+	"adindex/internal/shard"
 )
 
 // HistogramBucketMillis is the coarse bucket width, matching Figure 9 of
@@ -235,6 +236,10 @@ type MetricsSnapshot struct {
 	// Durability is present for durable (or recovering) local servers:
 	// the recovery report from startup plus live persistence counters.
 	Durability *DurabilitySnapshot `json:"durability,omitempty"`
+	// Elastic is present when a Rebalancer is attached: routing epoch,
+	// in-flight migration phase, completed/aborted handoffs, and
+	// per-shard placement signals (slots, ads, matches served).
+	Elastic *shard.RebalanceStatus `json:"elastic,omitempty"`
 }
 
 // RewriteMetricsSnapshot is the rewrite section of /metrics.

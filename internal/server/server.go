@@ -150,7 +150,10 @@ type Server struct {
 	// index, surfaced in /metrics.
 	recovery atomic.Pointer[durable.RecoveryReport]
 	remote   *shard.NetClient // nil in local mode
-	cfg      Config
+	// elastic, when attached, surfaces live-resharding status in
+	// /metrics and /readyz and enables /admin/rebalance.
+	elastic atomic.Pointer[rebalHolder]
+	cfg     Config
 	cache    *Cache
 	limiter  *Limiter
 	metrics  *Registry
@@ -230,6 +233,7 @@ func newServer(ix *adindex.Index, nc *shard.NetClient, cfg Config) *Server {
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/optimize", s.handleOptimize)
 	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/admin/rebalance", s.handleRebalance)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -841,6 +845,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 			Health: s.remote.Health(),
 		}
 	}
+	if r := s.rebalancer(); r != nil {
+		st := r.Status()
+		snap.Elastic = &st
+	}
 	s.writeJSON(w, snap)
 }
 
@@ -867,6 +875,18 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 		if h := s.remote.Health(); h.DeadFor > s.cfg.BackendLossGrace {
 			http.Error(w, fmt.Sprintf("backends degraded for %v", h.DeadFor.Round(time.Millisecond)),
 				http.StatusServiceUnavailable)
+			return
+		}
+	}
+	// An in-flight rebalance does NOT make the node unready: the live
+	// handoff keeps serving from the old owner until the atomic cutover,
+	// so routing around it would shed capacity for no benefit. The state
+	// is annotated so probes can observe it.
+	if r := s.rebalancer(); r != nil {
+		if st := r.Status(); st.Migrating {
+			w.WriteHeader(http.StatusOK)
+			fmt.Fprintf(w, "ready (rebalancing: %s %d->%d, phase %s, epoch %d)\n",
+				st.Kind, st.From, st.To, st.Phase, st.Epoch)
 			return
 		}
 	}

@@ -1,0 +1,406 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"adindex/internal/corpus"
+	"adindex/internal/multiserver"
+	"adindex/internal/textnorm"
+)
+
+// elasticAds builds n single-word ads ("w0".."wn-1"), so querying "wK"
+// broad-matches exactly ad K — any loss or duplication of a copy during
+// a handoff shows up as a wrong result count.
+func elasticAds(n int) []corpus.Ad {
+	ads := make([]corpus.Ad, 0, n)
+	for i := 0; i < n; i++ {
+		ads = append(ads, corpus.NewAd(uint64(i+1), fmt.Sprintf("w%d", i), corpus.Meta{}))
+	}
+	return ads
+}
+
+// checkVisibility asserts every ad is matched exactly once and the
+// logical count is right.
+func checkVisibility(t *testing.T, ec *ElasticCluster, ads []corpus.Ad, gone map[uint64]bool) {
+	t.Helper()
+	want := 0
+	for _, ad := range ads {
+		ids := ec.MatchIDs(ad.Phrase)
+		if gone[ad.ID] {
+			if len(ids) != 0 {
+				t.Fatalf("deleted ad %d still matched: %v", ad.ID, ids)
+			}
+			continue
+		}
+		want++
+		if len(ids) != 1 || ids[0] != ad.ID {
+			t.Fatalf("ad %d (%q) matched %v, want exactly itself", ad.ID, ad.Phrase, ids)
+		}
+	}
+	if got := ec.NumAds(); got != want {
+		t.Fatalf("NumAds = %d, want %d", got, want)
+	}
+}
+
+// movingPhrase returns a phrase whose slot is in the moving set (or not,
+// when in=false), for crafting dual-write traffic.
+func movingPhrase(t *testing.T, table *RoutingTable, moving map[int]bool, in bool) string {
+	t.Helper()
+	for i := 0; i < 10000; i++ {
+		p := fmt.Sprintf("mv%d", i)
+		if moving[table.SlotOfWords(textnorm.WordSet(p))] == in {
+			return p
+		}
+	}
+	t.Fatalf("no phrase found with moving=%v", in)
+	return ""
+}
+
+func TestElasticSplitLive(t *testing.T) {
+	ads := elasticAds(200)
+	ec, err := NewElastic(ads, 2, ElasticOptions{})
+	if err != nil {
+		t.Fatalf("NewElastic: %v", err)
+	}
+	checkVisibility(t, ec, ads, nil)
+
+	moving := map[int]bool{}
+	for _, s := range ec.Table().SplitSlots(0) {
+		moving[s] = true
+	}
+	// Mutations land mid-handoff, on moving and non-moving slots alike:
+	// the dual-write journal must carry the moving ones across.
+	movIns := corpus.NewAd(9001, movingPhrase(t, ec.Table(), moving, true), corpus.Meta{})
+	stayIns := corpus.NewAd(9002, movingPhrase(t, ec.Table(), moving, false), corpus.Meta{})
+	var movDel corpus.Ad
+	for _, ad := range ads {
+		if moving[ec.Table().SlotOfWords(ad.Words)] {
+			movDel = ad
+			break
+		}
+	}
+	if movDel.ID == 0 {
+		t.Fatalf("no seeded ad in a moving slot")
+	}
+	ec.handoffFault = func(phase string, _ []byte) error {
+		if phase == "load" {
+			ec.Insert(movIns)
+			ec.Insert(stayIns)
+			if !ec.Delete(movDel.ID, movDel.Phrase) {
+				t.Errorf("mid-handoff delete of %d failed", movDel.ID)
+			}
+		}
+		return nil
+	}
+
+	newShard, err := ec.Split(0)
+	if err != nil {
+		t.Fatalf("Split: %v", err)
+	}
+	if newShard != 2 || ec.NumShards() != 3 || ec.Epoch() != 2 {
+		t.Fatalf("post-split shard=%d shards=%d epoch=%d", newShard, ec.NumShards(), ec.Epoch())
+	}
+	all := append(append([]corpus.Ad(nil), ads...), movIns, stayIns)
+	checkVisibility(t, ec, all, map[uint64]bool{movDel.ID: true})
+
+	st := ec.Status()
+	if st.Completed != 1 || st.Aborted != 0 || st.Migrating || st.ActiveShards != 3 {
+		t.Fatalf("status after split = %+v", st)
+	}
+	// The new shard actually owns and serves data.
+	if len(ec.Table().SlotsOf(2)) == 0 {
+		t.Fatalf("split target owns no slots")
+	}
+}
+
+func TestElasticMergeAndMigrate(t *testing.T) {
+	ads := elasticAds(150)
+	ec, err := NewElastic(ads, 3, ElasticOptions{})
+	if err != nil {
+		t.Fatalf("NewElastic: %v", err)
+	}
+
+	// Migrate half of shard 0's slots onto shard 1.
+	if err := ec.Migrate(0, 1); err != nil {
+		t.Fatalf("Migrate: %v", err)
+	}
+	if ec.Epoch() != 2 || ec.NumShards() != 3 {
+		t.Fatalf("post-migrate epoch=%d shards=%d", ec.Epoch(), ec.NumShards())
+	}
+	checkVisibility(t, ec, ads, nil)
+
+	// Merge shard 2 away entirely.
+	if err := ec.Merge(2, 0); err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
+	if got := ec.Table().ActiveShards(); len(got) != 2 {
+		t.Fatalf("active shards after merge = %v", got)
+	}
+	checkVisibility(t, ec, ads, nil)
+
+	// Retired shard: merging from it again fails cleanly.
+	if err := ec.Merge(2, 0); err == nil {
+		t.Fatalf("merge from retired shard accepted")
+	}
+	// Mutations still route correctly after two rebalances.
+	extra := corpus.NewAd(9100, "post rebalance insert", corpus.Meta{})
+	ec.Insert(extra)
+	if ids := ec.MatchIDs(extra.Phrase); len(ids) != 1 || ids[0] != extra.ID {
+		t.Fatalf("post-rebalance insert matched %v", ids)
+	}
+	if !ec.Delete(extra.ID, extra.Phrase) {
+		t.Fatalf("post-rebalance delete failed")
+	}
+}
+
+func TestElasticAbortRollsBack(t *testing.T) {
+	ads := elasticAds(120)
+	for _, phase := range []string{"begin", "stream", "load", "catchup"} {
+		ec, err := NewElastic(ads, 2, ElasticOptions{})
+		if err != nil {
+			t.Fatalf("NewElastic: %v", err)
+		}
+		boom := errors.New("injected " + phase + " fault")
+		ec.handoffFault = func(p string, _ []byte) error {
+			if p == phase {
+				return boom
+			}
+			return nil
+		}
+		if _, err := ec.Split(0); !errors.Is(err, boom) {
+			t.Fatalf("phase %s: Split err = %v, want injected fault", phase, err)
+		}
+		// Last stable epoch, shard count, and every ad are intact.
+		if ec.Epoch() != 1 || ec.NumShards() != 2 {
+			t.Fatalf("phase %s: epoch=%d shards=%d after abort", phase, ec.Epoch(), ec.NumShards())
+		}
+		checkVisibility(t, ec, ads, nil)
+		st := ec.Status()
+		if st.Aborted != 1 || st.Completed != 0 || st.Migrating || st.LastError == "" {
+			t.Fatalf("phase %s: status after abort = %+v", phase, st)
+		}
+		// The deployment is not wedged: a clean retry succeeds.
+		ec.handoffFault = nil
+		if _, err := ec.Split(0); err != nil {
+			t.Fatalf("phase %s: retry Split after abort: %v", phase, err)
+		}
+		checkVisibility(t, ec, ads, nil)
+	}
+}
+
+func TestElasticAbortRebuildsExistingTarget(t *testing.T) {
+	ads := elasticAds(120)
+	ec, err := NewElastic(ads, 2, ElasticOptions{})
+	if err != nil {
+		t.Fatalf("NewElastic: %v", err)
+	}
+	boom := errors.New("target died mid-catch-up")
+	ec.handoffFault = func(p string, _ []byte) error {
+		if p == "catchup" {
+			return boom
+		}
+		return nil
+	}
+	// Migrate (existing target): the abort must strip the staged foreign
+	// copies back out of shard 1 without touching its own ads.
+	if err := ec.Migrate(0, 1); !errors.Is(err, boom) {
+		t.Fatalf("Migrate err = %v, want injected fault", err)
+	}
+	if ec.Epoch() != 1 {
+		t.Fatalf("epoch %d after aborted migrate, want 1", ec.Epoch())
+	}
+	checkVisibility(t, ec, ads, nil)
+}
+
+func TestElasticStreamCorruptionAborts(t *testing.T) {
+	ads := elasticAds(60)
+	ec, err := NewElastic(ads, 2, ElasticOptions{})
+	if err != nil {
+		t.Fatalf("NewElastic: %v", err)
+	}
+	ec.handoffFault = func(p string, stream []byte) error {
+		if p == "stream" && len(stream) > 40 {
+			stream[40] ^= 0xFF // corrupt the stream in flight
+		}
+		return nil
+	}
+	_, err = ec.Split(0)
+	if err == nil || !strings.Contains(err.Error(), "snapshot stream rejected") {
+		t.Fatalf("corrupted stream err = %v, want checksum rejection", err)
+	}
+	if ec.Epoch() != 1 || ec.NumShards() != 2 {
+		t.Fatalf("epoch=%d shards=%d after corrupt-stream abort", ec.Epoch(), ec.NumShards())
+	}
+	checkVisibility(t, ec, ads, nil)
+}
+
+func TestElasticStagedCopiesInvisibleMidHandoff(t *testing.T) {
+	ads := elasticAds(100)
+	ec, err := NewElastic(ads, 2, ElasticOptions{})
+	if err != nil {
+		t.Fatalf("NewElastic: %v", err)
+	}
+	// At catch-up the target holds staged physical copies of every moving
+	// ad; the ownership filter must keep queries single-copy.
+	checked := false
+	ec.handoffFault = func(p string, _ []byte) error {
+		if p == "catchup" {
+			checked = true
+			checkVisibility(t, ec, ads, nil)
+			if st := ec.Status(); !st.Migrating || st.Kind != "split" {
+				t.Errorf("mid-handoff status = %+v", st)
+			}
+		}
+		return nil
+	}
+	if _, err := ec.Split(0); err != nil {
+		t.Fatalf("Split: %v", err)
+	}
+	if !checked {
+		t.Fatalf("catch-up hook never ran")
+	}
+	checkVisibility(t, ec, ads, nil)
+}
+
+func TestElasticGuards(t *testing.T) {
+	ec, err := NewElastic(elasticAds(40), 2, ElasticOptions{MaxShards: 3})
+	if err != nil {
+		t.Fatalf("NewElastic: %v", err)
+	}
+	if _, err := ec.Split(0); err != nil {
+		t.Fatalf("first split: %v", err)
+	}
+	// Growth past MaxShards fails and leaves the cluster stable.
+	if _, err := ec.Split(0); err == nil {
+		t.Fatalf("split past MaxShards accepted")
+	}
+	if ec.NumShards() != 3 || ec.Epoch() != 2 {
+		t.Fatalf("cluster changed by rejected split: shards=%d epoch=%d", ec.NumShards(), ec.Epoch())
+	}
+	if err := ec.Migrate(0, 9); err == nil {
+		t.Fatalf("migrate to bogus shard accepted")
+	}
+	if err := ec.Merge(0, 0); err == nil {
+		t.Fatalf("self-merge accepted")
+	}
+	if _, err := NewElastic(nil, 9, ElasticOptions{MaxShards: 3}); err == nil {
+		t.Fatalf("initial shards above MaxShards accepted")
+	}
+	// The delta-window bound aborts a handoff that cannot converge.
+	ec2, _ := NewElastic(elasticAds(40), 2, ElasticOptions{MaxDeltaRecords: 2})
+	moving := map[int]bool{}
+	for _, s := range ec2.Table().SplitSlots(0) {
+		moving[s] = true
+	}
+	hot := movingPhrase(t, ec2.Table(), moving, true)
+	ec2.handoffFault = func(p string, _ []byte) error {
+		if p == "load" {
+			for i := 0; i < 5; i++ {
+				ec2.Insert(corpus.NewAd(uint64(8000+i), hot, corpus.Meta{}))
+			}
+		}
+		return nil
+	}
+	if _, err := ec2.Split(0); err == nil || !strings.Contains(err.Error(), "dual-write window") {
+		t.Fatalf("unbounded window err = %v, want window abort", err)
+	}
+	if ec2.Epoch() != 1 {
+		t.Fatalf("epoch moved on window abort: %d", ec2.Epoch())
+	}
+}
+
+func TestElasticSuggestSplit(t *testing.T) {
+	ads := elasticAds(90)
+	ec, err := NewElastic(ads, 3, ElasticOptions{MaxShards: 4})
+	if err != nil {
+		t.Fatalf("NewElastic: %v", err)
+	}
+	// Hammer the words owned by shard 1 so its serving counter leads.
+	for _, ad := range ads {
+		if ec.Table().OwnerOf(ad.Words) == 1 {
+			for i := 0; i < 5; i++ {
+				ec.MatchIDs(ad.Phrase)
+			}
+		}
+	}
+	if got := ec.SuggestSplit(); got != 1 {
+		t.Fatalf("SuggestSplit = %d, want hot shard 1", got)
+	}
+	// At the shard cap there is nothing to suggest.
+	if _, err := ec.Split(1); err != nil {
+		t.Fatalf("Split(1): %v", err)
+	}
+	if got := ec.SuggestSplit(); got != -1 {
+		t.Fatalf("SuggestSplit at cap = %d, want -1", got)
+	}
+}
+
+func TestElasticServeEpochChecked(t *testing.T) {
+	ads := elasticAds(80)
+	ec, err := NewElastic(ads, 2, ElasticOptions{MaxShards: 4})
+	if err != nil {
+		t.Fatalf("NewElastic: %v", err)
+	}
+	es, err := ec.Serve()
+	if err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	defer es.Close()
+	if len(es.Addrs()) != 4 {
+		t.Fatalf("served %d positions, want MaxShards=4", len(es.Addrs()))
+	}
+
+	conn, err := multiserver.DialConn(es.Addrs()[0], multiserver.ConnOpts{})
+	if err != nil {
+		t.Fatalf("DialConn: %v", err)
+	}
+	defer conn.Close()
+
+	// Pick an ad owned by shard 0 and query its own server at the
+	// current epoch.
+	var target corpus.Ad
+	for _, ad := range ads {
+		if ec.Table().OwnerOf(ad.Words) == 0 {
+			target = ad
+			break
+		}
+	}
+	resp, err := conn.Exchange(multiserver.EncodeEpochRequest(ec.Epoch(), []byte(target.Phrase)))
+	if err != nil {
+		t.Fatalf("exchange at current epoch: %v", err)
+	}
+	if ids, _ := multiserver.DecodeIDs(resp); len(ids) != 1 || ids[0] != target.ID {
+		t.Fatalf("shard 0 answered %v, want [%d]", ids, target.ID)
+	}
+
+	// A not-yet-active position answers empty, not an error.
+	conn3, err := multiserver.DialConn(es.Addrs()[3], multiserver.ConnOpts{})
+	if err != nil {
+		t.Fatalf("DialConn idle position: %v", err)
+	}
+	defer conn3.Close()
+	resp, err = conn3.Exchange(multiserver.EncodeEpochRequest(ec.Epoch(), []byte(target.Phrase)))
+	if err != nil {
+		t.Fatalf("idle position exchange: %v", err)
+	}
+	if ids, _ := multiserver.DecodeIDs(resp); len(ids) != 0 {
+		t.Fatalf("idle position answered %v, want empty", ids)
+	}
+
+	// After a split the old epoch is rejected with the typed error and
+	// the new epoch is served.
+	oldEpoch := ec.Epoch()
+	if _, err := ec.Split(0); err != nil {
+		t.Fatalf("Split: %v", err)
+	}
+	_, err = conn.Exchange(multiserver.EncodeEpochRequest(oldEpoch, []byte(target.Phrase)))
+	if !errors.Is(err, multiserver.ErrStaleEpoch) {
+		t.Fatalf("stale query err = %v, want ErrStaleEpoch", err)
+	}
+	if _, err := conn.Exchange(multiserver.EncodeEpochRequest(ec.Epoch(), []byte(target.Phrase))); err != nil {
+		t.Fatalf("refreshed exchange: %v", err)
+	}
+}

@@ -411,3 +411,87 @@ func TestReplicaKillMidLoadAcceptance(t *testing.T) {
 		t.Errorf("health after recovery: %+v", h)
 	}
 }
+
+// TestBreakerProbeAfterRollingKill reproduces the rolling-partition gap
+// the elastic sim found: replica A dies and its breaker opens; then A
+// heals and replica B dies, all inside A's breaker cooldown. At that
+// point every replica either fast-fails (A: breaker still open, nothing
+// transmitted) or genuinely fails (B: dead), so without the forced
+// probe fallback a strict query fails hard even though A is serving.
+func TestBreakerProbeAfterRollingKill(t *testing.T) {
+	d := deploy(t, 600, 2)
+	q := d.pickQuery(t)
+	replica := d.shardServer(t, 0) // second replica of shard 0
+	defer replica.Close()
+	proxyA, err := faultnet.New(d.shards[0].Addr(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxyA.Close()
+	proxyB, err := faultnet.New(replica.Addr(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxyB.Close()
+
+	opts := fastConn()
+	// A cooldown far longer than the test: only a forced probe (never an
+	// elapsed half-open transition) can bring replica A back.
+	opts.BreakerCooldown = time.Minute
+	nc, err := DialReplicaShards(
+		[][]string{{proxyA.Addr(), proxyB.Addr()}, {d.shards[1].Addr()}},
+		d.ad.Addr(), Options{Conn: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+
+	want, err := nc.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill A: queries keep succeeding via B while A's breaker opens.
+	// Re-preferring A before each query mimics what routed mode does
+	// naturally — every route refresh rebuilds the replica set with
+	// preference 0 — so the dead replica keeps accruing failures.
+	proxyA.Partition()
+	for i := 0; i < opts.BreakerThreshold; i++ {
+		nc.shards[0].preferred.Store(0)
+		if _, err := nc.Query(q); err != nil {
+			t.Fatalf("failover query %d: %v", i, err)
+		}
+	}
+	breakerA := nc.shards[0].conns[0].Breaker()
+	if st := breakerA.State(); st != multiserver.BreakerOpen {
+		t.Fatalf("breaker on replica A = %v after kill, want open", st)
+	}
+
+	// Roll the failure: heal A, kill B, query inside A's cooldown.
+	proxyA.Heal()
+	proxyB.Partition()
+	got, err := nc.Query(q)
+	if err != nil {
+		t.Fatalf("query after rolling kill failed hard: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("probed result mismatch: %v vs %v", got, want)
+	}
+	if nc.Stats().BreakerProbes == 0 {
+		t.Error("no forced probe round recorded")
+	}
+	// The successful probe closed A's breaker and re-preferred A, so
+	// subsequent queries flow normally without further probe rounds.
+	if st := breakerA.State(); st != multiserver.BreakerClosed {
+		t.Errorf("breaker on replica A = %v after probe, want closed", st)
+	}
+	probes := nc.Stats().BreakerProbes
+	for i := 0; i < 3; i++ {
+		if _, err := nc.Query(q); err != nil {
+			t.Fatalf("steady query %d after probe recovery: %v", i, err)
+		}
+	}
+	if got := nc.Stats().BreakerProbes; got != probes {
+		t.Errorf("probe rounds kept firing after recovery: %d -> %d", probes, got)
+	}
+}

@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -61,6 +62,7 @@ type replicaSet struct {
 	conns     []*multiserver.Conn
 	preferred atomic.Int32 // replica index tried first
 	deadSince atomic.Int64 // unix-nanos when the whole shard began failing; 0 = live
+	lastProbe atomic.Int64 // unix-nanos of the last forced breaker probe round; 0 = never
 }
 
 // order returns replica indexes starting at the preferred replica.
@@ -89,6 +91,50 @@ func (rs *replicaSet) deadFor() time.Duration {
 	return time.Duration(time.Now().UnixNano() - t)
 }
 
+// probeThrough forces one attempt per replica past their open breakers,
+// in preference order. It exists for the case where every replica
+// fast-failed breaker-open, so the query is about to fail without a
+// single byte having been transmitted: that verdict reflects breaker
+// state from up to a cooldown ago, not the shard's current health — a
+// replica can heal within the cooldown while its peers die (a rolling
+// partition does exactly this). Rounds are rate-limited to one per
+// breaker cooldown per replica set, so a genuinely dead shard keeps
+// failing fast and costs at most one extra timeout per cooldown.
+//
+// probed is false when the round was skipped by the rate limit (the
+// caller keeps its fast-fail error); otherwise ids/err carry the round's
+// outcome, with the same stale-epoch semantics as a normal attempt.
+func (rs *replicaSet) probeThrough(req []byte) (ids []uint64, err error, probed bool) {
+	cd := rs.conns[0].Breaker().Cooldown()
+	now := time.Now().UnixNano()
+	last := rs.lastProbe.Load()
+	if last != 0 && now-last < int64(cd) {
+		return nil, nil, false
+	}
+	if !rs.lastProbe.CompareAndSwap(last, now) {
+		// Another goroutine owns this round; let it probe.
+		return nil, nil, false
+	}
+	var lastErr error
+	for _, ci := range rs.order() {
+		resp, perr := rs.conns[ci].Probe(req)
+		if perr == nil {
+			got, derr := decodeShardIDs(resp)
+			if derr != nil {
+				lastErr = derr
+				continue
+			}
+			rs.preferred.Store(int32(ci))
+			return got, nil, true
+		}
+		if errors.Is(perr, multiserver.ErrStaleEpoch) {
+			return nil, perr, true
+		}
+		lastErr = perr
+	}
+	return nil, lastErr, true
+}
+
 // NetClient fans broad-match queries out to several remote index shards
 // (multiserver protocol) and merges their ID lists — the networked form
 // of the Section VII-B split deployment, hardened for production: each
@@ -102,8 +148,20 @@ type NetClient struct {
 	adDead atomic.Int64 // unix-nanos since the ad server stopped answering
 	opts   Options
 
-	degraded atomic.Uint64
-	hedges   atomic.Uint64
+	// Routed (elastic) mode: the shard topology comes from a versioned
+	// routing table refreshed through fetch, instead of the fixed shards
+	// slice. See DialRoute.
+	routed    bool
+	fetch     func() (*Route, error)
+	route     atomic.Pointer[routeState]
+	connMu    sync.Mutex
+	connCache map[string]*multiserver.Conn
+
+	degraded     atomic.Uint64
+	hedges       atomic.Uint64
+	refreshes    atomic.Uint64
+	staleRetries atomic.Uint64
+	probes       atomic.Uint64
 }
 
 // DialShards connects to every index-server address (one replica per
@@ -169,13 +227,55 @@ func (nc *NetClient) Close() {
 			c.Close()
 		}
 	}
+	nc.connMu.Lock()
+	for _, c := range nc.connCache {
+		c.Close()
+	}
+	nc.connMu.Unlock()
 	if nc.ad != nil {
 		nc.ad.Close()
 	}
 }
 
-// NumShards returns the shard count.
-func (nc *NetClient) NumShards() int { return len(nc.shards) }
+// NumShards returns the number of shard positions (in routed mode, the
+// current routing table's).
+func (nc *NetClient) NumShards() int {
+	if nc.routed {
+		return nc.route.Load().route.Table.NumShards
+	}
+	return len(nc.shards)
+}
+
+// currentSets returns the replica sets the next query would fan out
+// over (indexed by shard position).
+func (nc *NetClient) currentSets() []*replicaSet {
+	if nc.routed {
+		if st := nc.route.Load(); st != nil {
+			return st.shards
+		}
+		return nil
+	}
+	return nc.shards
+}
+
+// allConns returns every connection the client has ever opened (routed
+// mode keeps retired shards' connections cached for stats and reuse).
+func (nc *NetClient) allConns() []*multiserver.Conn {
+	if nc.routed {
+		nc.connMu.Lock()
+		defer nc.connMu.Unlock()
+		out := make([]*multiserver.Conn, 0, len(nc.connCache))
+		for _, c := range nc.connCache {
+			out = append(out, c)
+		}
+		return out
+	}
+	var out []*multiserver.Conn
+	for _, rs := range nc.shards {
+		out = append(out, rs.conns...)
+	}
+	return out
+}
 
 // Query runs the query on every shard concurrently and returns the
 // merged, ID-ordered match list, fetching (and discarding) metadata for
@@ -198,15 +298,30 @@ func (nc *NetClient) QueryResult(query string) (*Result, error) {
 }
 
 func (nc *NetClient) run(query string, partial bool) (*Result, error) {
-	ids := make([][]uint64, len(nc.shards))
-	errs := make([]error, len(nc.shards))
+	if nc.routed {
+		return nc.runRouted(query, partial)
+	}
+	shardIDs := make([]int, len(nc.shards))
+	for i := range shardIDs {
+		shardIDs[i] = i
+	}
+	return nc.fanOut(nc.shards, shardIDs, []byte(query), partial)
+}
+
+// fanOut queries sets[id] for every id in shardIDs concurrently and
+// merges the answers. A stale-epoch rejection from any shard is
+// returned as-is (highest priority) so routed callers can refresh and
+// retry the whole query.
+func (nc *NetClient) fanOut(sets []*replicaSet, shardIDs []int, req []byte, partial bool) (*Result, error) {
+	ids := make([][]uint64, len(shardIDs))
+	errs := make([]error, len(shardIDs))
 	var wg sync.WaitGroup
-	for i, rs := range nc.shards {
+	for i, id := range shardIDs {
 		wg.Add(1)
 		go func(i int, rs *replicaSet) {
 			defer wg.Done()
-			ids[i], errs[i] = nc.queryShard(rs, query)
-		}(i, rs)
+			ids[i], errs[i] = nc.queryShard(rs, req)
+		}(i, sets[id])
 	}
 	wg.Wait()
 
@@ -215,9 +330,12 @@ func (nc *NetClient) run(query string, partial bool) (*Result, error) {
 	var firstErr error
 	for i, err := range errs {
 		if err != nil {
-			res.FailedShards = append(res.FailedShards, i)
+			if errors.Is(err, multiserver.ErrStaleEpoch) {
+				return nil, err
+			}
+			res.FailedShards = append(res.FailedShards, shardIDs[i])
 			if firstErr == nil {
-				firstErr = fmt.Errorf("shard %d: %w", i, err)
+				firstErr = fmt.Errorf("shard %d: %w", shardIDs[i], err)
 			}
 			continue
 		}
@@ -229,7 +347,7 @@ func (nc *NetClient) run(query string, partial bool) (*Result, error) {
 	}
 	if live < nc.opts.MinLiveShards {
 		return nil, fmt.Errorf("shard: only %d/%d shards answered (min %d): %w",
-			live, len(nc.shards), nc.opts.MinLiveShards, firstErr)
+			live, len(shardIDs), nc.opts.MinLiveShards, firstErr)
 	}
 	res.Degraded = len(res.FailedShards) > 0
 	sort.Slice(res.IDs, func(i, j int) bool { return res.IDs[i] < res.IDs[j] })
@@ -255,21 +373,31 @@ func (nc *NetClient) run(query string, partial bool) (*Result, error) {
 // queryShard tries the shard's replicas in preference order, failing
 // over on error; with hedging enabled, a duplicate request goes to the
 // next replica after Options.HedgeAfter and the first success wins.
-func (nc *NetClient) queryShard(rs *replicaSet, query string) ([]uint64, error) {
+// A stale-epoch rejection short-circuits: the shard is alive, its
+// replicas move epochs in lockstep, so failing over would only repeat
+// the rejection — the caller must refresh its routing table instead.
+func (nc *NetClient) queryShard(rs *replicaSet, req []byte) ([]uint64, error) {
 	order := rs.order()
 	if nc.opts.HedgeAfter <= 0 || len(order) == 1 {
 		var lastErr error
+		sawFastFail := false
 		for _, ci := range order {
-			ids, err := queryConn(rs.conns[ci], query)
+			ids, err := queryConn(rs.conns[ci], req)
 			if err == nil {
 				rs.preferred.Store(int32(ci))
 				rs.markLive()
 				return ids, nil
 			}
+			if errors.Is(err, multiserver.ErrStaleEpoch) {
+				rs.markLive()
+				return nil, err
+			}
+			if errors.Is(err, multiserver.ErrBreakerOpen) {
+				sawFastFail = true
+			}
 			lastErr = err
 		}
-		rs.markDead()
-		return nil, lastErr
+		return nc.failShard(rs, req, lastErr, sawFastFail)
 	}
 
 	type attempt struct {
@@ -280,7 +408,7 @@ func (nc *NetClient) queryShard(rs *replicaSet, query string) ([]uint64, error) 
 	ch := make(chan attempt, len(order))
 	launch := func(ci int) {
 		go func() {
-			ids, err := queryConn(rs.conns[ci], query)
+			ids, err := queryConn(rs.conns[ci], req)
 			ch <- attempt{ci, ids, err}
 		}()
 	}
@@ -289,6 +417,7 @@ func (nc *NetClient) queryShard(rs *replicaSet, query string) ([]uint64, error) 
 	timer := time.NewTimer(nc.opts.HedgeAfter)
 	defer timer.Stop()
 	var lastErr error
+	sawFastFail := false
 	for outstanding > 0 {
 		select {
 		case a := <-ch:
@@ -297,6 +426,13 @@ func (nc *NetClient) queryShard(rs *replicaSet, query string) ([]uint64, error) 
 				rs.preferred.Store(int32(a.ci))
 				rs.markLive()
 				return a.ids, nil
+			}
+			if errors.Is(a.err, multiserver.ErrStaleEpoch) {
+				rs.markLive()
+				return nil, a.err
+			}
+			if errors.Is(a.err, multiserver.ErrBreakerOpen) {
+				sawFastFail = true
 			}
 			lastErr = a.err
 			if launched < len(order) {
@@ -313,12 +449,36 @@ func (nc *NetClient) queryShard(rs *replicaSet, query string) ([]uint64, error) 
 			}
 		}
 	}
+	return nc.failShard(rs, req, lastErr, sawFastFail)
+}
+
+// failShard finishes a shard query whose every replica attempt failed.
+// When any of those failures was a breaker-open fast-fail, that replica
+// was never actually contacted — the verdict rests on cached breaker
+// state, not the shard's current health — so one rate-limited forced
+// probe round runs before the failure is allowed to stand (see
+// replicaSet.probeThrough).
+func (nc *NetClient) failShard(rs *replicaSet, req []byte, lastErr error, sawFastFail bool) ([]uint64, error) {
+	if sawFastFail {
+		if ids, err, probed := rs.probeThrough(req); probed {
+			nc.probes.Add(1)
+			if err == nil {
+				rs.markLive()
+				return ids, nil
+			}
+			if errors.Is(err, multiserver.ErrStaleEpoch) {
+				rs.markLive()
+				return nil, err
+			}
+			lastErr = err
+		}
+	}
 	rs.markDead()
 	return nil, lastErr
 }
 
-func queryConn(c *multiserver.Conn, query string) ([]uint64, error) {
-	resp, err := c.Exchange([]byte(query))
+func queryConn(c *multiserver.Conn, req []byte) ([]uint64, error) {
+	resp, err := c.Exchange(req)
 	if err != nil {
 		return nil, err
 	}
@@ -369,10 +529,11 @@ type Health struct {
 	DeadFor time.Duration `json:"-"`
 }
 
-// Health reports current backend liveness.
+// Health reports current backend liveness (in routed mode, of the
+// replica sets the current routing table targets).
 func (nc *NetClient) Health() Health {
 	var h Health
-	for _, rs := range nc.shards {
+	for _, rs := range nc.currentSets() {
 		sh := ShardHealth{Live: rs.deadSince.Load() == 0}
 		for _, c := range rs.conns {
 			sh.Replicas = append(sh.Replicas, ReplicaHealth{
@@ -411,9 +572,19 @@ type Stats struct {
 	FastFails    uint64 `json:"breaker_fast_fails"`
 	Degraded     uint64 `json:"degraded"`
 	Hedges       uint64 `json:"hedged_requests"`
+	// RouteRefreshes counts routing-table fetches (routed mode only,
+	// including the initial fetch); StaleRetries counts queries that hit
+	// a stale-epoch rejection and were retried after a refresh.
+	RouteRefreshes uint64 `json:"route_refreshes,omitempty"`
+	StaleRetries   uint64 `json:"stale_retries,omitempty"`
+	// BreakerProbes counts forced probe rounds: queries whose every
+	// replica fast-failed breaker-open and which pushed one attempt
+	// through anyway rather than fail on stale breaker state.
+	BreakerProbes uint64 `json:"breaker_probes,omitempty"`
 }
 
-// Stats returns a snapshot of the client's fault-handling counters.
+// Stats returns a snapshot of the client's fault-handling counters
+// (across every connection ever opened, including retired shards').
 func (nc *NetClient) Stats() Stats {
 	var s Stats
 	add := func(c *multiserver.Conn) {
@@ -423,16 +594,17 @@ func (nc *NetClient) Stats() Stats {
 		s.FastFails += cs.FastFails
 		s.BreakerOpens += c.Breaker().Opens()
 	}
-	for _, rs := range nc.shards {
-		for _, c := range rs.conns {
-			add(c)
-		}
+	for _, c := range nc.allConns() {
+		add(c)
 	}
 	if nc.ad != nil {
 		add(nc.ad)
 	}
 	s.Degraded = nc.degraded.Load()
 	s.Hedges = nc.hedges.Load()
+	s.RouteRefreshes = nc.refreshes.Load()
+	s.StaleRetries = nc.staleRetries.Load()
+	s.BreakerProbes = nc.probes.Load()
 	return s
 }
 

@@ -19,6 +19,12 @@ type Config struct {
 	Rewrite bool `json:"rewrite"`
 	// Net adds the sharded/replicated TCP target behind fault proxies.
 	Net bool `json:"net"`
+	// Elastic (requires Net) replaces the static sharded deployment with
+	// the elastic one: replicated shard.ElasticClusters served through
+	// epoch-checking servers and queried through a routed NetClient, with
+	// the generator emitting live split/merge/migrate handoffs that carry
+	// mid-handoff inserts and queries.
+	Elastic bool `json:"elastic,omitempty"`
 	// Shards and Replicas shape the networked deployment. Defaults 2, 2.
 	Shards   int `json:"shards"`
 	Replicas int `json:"replicas"`

@@ -1,0 +1,189 @@
+package sim
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"adindex/internal/corpus"
+	"adindex/internal/shard"
+)
+
+// elasticConfig is fullConfig with the elastic networked deployment
+// swapped in: replicated shard.ElasticClusters behind epoch-checking
+// servers and fault proxies, plus live split/merge/migrate ops in the
+// generated schedule.
+func elasticConfig(t *testing.T, seed int64) Config {
+	t.Helper()
+	cfg := fullConfig(t, seed)
+	cfg.Elastic = true
+	return cfg
+}
+
+// elasticRegressionSeeds pin schedules that interleave live handoffs
+// with the rest of the op mix (replica kills, torn crashes, deletes,
+// batch queries). Each rebalance carries a mid-handoff insert through
+// the dual-write journal and an oracle-checked query at catch-up time.
+// Any future divergence on these seeds is a migration regression with
+// a ready-made repro.
+var elasticRegressionSeeds = []int64{17, 41, 101}
+
+func TestSimElasticRegressionSeeds(t *testing.T) {
+	for _, seed := range elasticRegressionSeeds {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			cfg := elasticConfig(t, seed)
+			cfg.Gen.Ops = 100
+			runSeed(t, cfg)
+		})
+	}
+}
+
+// TestSimElastic is the elastic counterpart of TestSim: fresh seeds
+// every soak rotation, full shrink-and-trace on divergence.
+func TestSimElastic(t *testing.T) {
+	n := *simSeeds
+	if testing.Short() && n > 2 {
+		n = 2
+	}
+	for i := 0; i < n; i++ {
+		seed := *simSeedBase + int64(i)
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			runSeed(t, elasticConfig(t, seed))
+		})
+	}
+}
+
+// TestSimElasticDeterministic: identical elastic seeds generate byte-
+// identical traces (rebalance ops included) and identical verdicts.
+func TestSimElasticDeterministic(t *testing.T) {
+	cfg1 := elasticConfig(t, 9)
+	cfg1.Gen.Ops = 80
+	cfg2 := cfg1
+	cfg2.Dir = t.TempDir()
+
+	s1, s2 := Generate(cfg1), Generate(cfg2)
+	t1 := EncodeTrace(&Trace{Config: cfg1, Schedule: s1})
+	t2 := EncodeTrace(&Trace{Config: cfg2, Schedule: s2})
+	if !bytes.Equal(t1, t2) {
+		t.Fatal("same elastic seed generated different traces")
+	}
+	r1, err := RunSchedule(cfg1, s1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := RunSchedule(cfg2, s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Verdict() != r2.Verdict() {
+		t.Fatalf("verdicts differ:\n  %s\n  %s", r1.Verdict(), r2.Verdict())
+	}
+}
+
+// TestSimElasticMigrationScenario encodes the PR's acceptance scenario
+// as a handcrafted schedule: seed the deployment, kill a replica, run a
+// live split WITH the replica down (mid-handoff insert and query ride
+// inside the handoff), heal, migrate and merge the topology back down,
+// and tear a WAL frame in a crash-restart — all with zero hard query
+// failures and an oracle-clean finish. Every rebalance is validated
+// against a shadow routing table first so the test fails loudly if the
+// schedule ever stops exercising real handoffs.
+func TestSimElasticMigrationScenario(t *testing.T) {
+	ads := []corpus.Ad{
+		corpus.NewAd(1, "red running shoes", corpus.Meta{BidMicros: 3000}),
+		corpus.NewAd(2, "red shoes", corpus.Meta{BidMicros: 2000}),
+		corpus.NewAd(3, "blue suede shoes", corpus.Meta{BidMicros: 1000, Exclusions: []string{"red"}}),
+		corpus.NewAd(4, "shoes", corpus.Meta{BidMicros: 4000}),
+		corpus.NewAd(5, "cheap flights paris", corpus.Meta{BidMicros: 5000}),
+		corpus.NewAd(6, "paris hotel deals", corpus.Meta{BidMicros: 2500}),
+		corpus.NewAd(7, "running socks", corpus.Meta{BidMicros: 1500}),
+	}
+	ops := []Op{
+		{Kind: OpInsert, Ad: &ads[0]},
+		{Kind: OpInsert, Ad: &ads[1]},
+		{Kind: OpInsert, Ad: &ads[2]},
+		{Kind: OpInsert, Ad: &ads[4]},
+		{Kind: OpInsert, Ad: &ads[5]},
+		{Kind: OpQuery, Query: "red suede running blue shoes"},
+		{Kind: OpPersist},
+		{Kind: OpKill, Replica: 1},
+		// Live split with a replica partitioned: the mid-handoff query
+		// must fail over to the surviving replica, the mid-handoff
+		// insert must cross the dual-write journal.
+		{Kind: OpSplit, Shard: 0, Ad: &ads[3], Query: "shoes red running"},
+		{Kind: OpQuery, Query: "cheap paris flights hotel"},
+		{Kind: OpHeal, Replica: 1},
+		{Kind: OpDelete, ID: 2, Phrase: "red shoes"},
+		// Migrate half of shard 1's slots onto the shard the split just
+		// provisioned, then collapse shard 2 back onto shard 0.
+		{Kind: OpMigrate, Shard: 1, To: 2, Ad: &ads[6], Query: "running shoes socks"},
+		{Kind: OpMerge, Shard: 2, To: 0, Ad: &ads[1], Query: "shoes"},
+		{Kind: OpCrash, Torn: true},
+		{Kind: OpQuery, Query: "red suede running blue shoes"},
+		{Kind: OpBatch, Queries: []string{"paris deals", "shoes", "running socks red"}},
+	}
+
+	// Prove every rebalance in the schedule is topologically valid (and
+	// therefore actually runs a live handoff rather than no-opping).
+	shadow, err := shard.NewRoutingTable(2, simElasticSlots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, op := range ops {
+		switch op.Kind {
+		case OpSplit:
+			shadow, err = shadow.MoveSlots(shadow.SplitSlots(op.Shard), shadow.NumShards)
+		case OpMigrate:
+			shadow, err = shadow.MoveSlots(shadow.SplitSlots(op.Shard), op.To)
+		case OpMerge:
+			shadow, err = shadow.MoveSlots(shadow.SlotsOf(op.Shard), op.To)
+		default:
+			continue
+		}
+		if err != nil {
+			t.Fatalf("op %d (%s) is not a valid rebalance: %v", i, op.Kind, err)
+		}
+	}
+	if shadow.Epoch != 4 {
+		t.Fatalf("scenario should end at epoch 4, shadow says %d", shadow.Epoch)
+	}
+
+	cfg := Config{Seed: 1, Durable: true, Net: true, Elastic: true, Dir: t.TempDir(), CheckEvery: 3}
+	res, err := RunSchedule(cfg, Schedule{Seed: 1, Ops: ops})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failure != nil {
+		t.Fatal(res.Verdict())
+	}
+	t.Logf("%s", res.Verdict())
+}
+
+// TestSimElasticShrinkNoOps: shrinking may strand rebalance ops whose
+// topology preconditions were deleted (e.g. a merge whose source shard
+// was never split into existence). The runner must treat those as
+// no-ops — still inserting the op's payload ad so oracle bookkeeping
+// stays aligned — rather than diverging or crashing.
+func TestSimElasticShrinkNoOps(t *testing.T) {
+	ads := []corpus.Ad{
+		corpus.NewAd(1, "red running shoes", corpus.Meta{BidMicros: 3000}),
+		corpus.NewAd(2, "blue suede shoes", corpus.Meta{BidMicros: 1000}),
+	}
+	ops := []Op{
+		{Kind: OpInsert, Ad: &ads[0]},
+		// Merge from a shard that does not exist.
+		{Kind: OpMerge, Shard: 3, To: 0, Ad: &ads[1], Query: "blue shoes"},
+		// Migrate onto an inactive shard.
+		{Kind: OpMigrate, Shard: 0, To: 3, Ad: &ads[0], Query: "red running"},
+		{Kind: OpQuery, Query: "blue suede red shoes running"},
+	}
+	cfg := Config{Seed: 1, Net: true, Elastic: true, CheckEvery: 1}
+	res, err := RunSchedule(cfg, Schedule{Seed: 1, Ops: ops})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failure != nil {
+		t.Fatal(res.Verdict())
+	}
+}

@@ -62,12 +62,21 @@ func RunSchedule(cfg Config, sched Schedule) (*Result, error) {
 		defer d.close()
 	}
 	if cfg.Net {
-		n, err := newNetTarget(cfg)
-		if err != nil {
-			return nil, err
+		if cfg.Elastic {
+			e, err := newElasticTarget(cfg)
+			if err != nil {
+				return nil, err
+			}
+			r.net, r.enet = e, e
+			defer e.close()
+		} else {
+			n, err := newNetTarget(cfg)
+			if err != nil {
+				return nil, err
+			}
+			r.net = n
+			defer n.close()
 		}
-		r.net = n
-		defer n.close()
 	}
 
 	res := &Result{Schedule: sched}
@@ -96,7 +105,8 @@ type runner struct {
 	rw     *rewrite.Planner // oracle-side planner, nil unless cfg.Rewrite
 	plain  *adindex.Index
 	dur    *durTarget
-	net    *netTarget
+	net    netDeployment
+	enet   *elasticTarget // non-nil iff cfg.Elastic (same object as net)
 	checks int
 }
 
@@ -109,14 +119,7 @@ func (r *runner) apply(i int, op *Op) *Failure {
 		if op.Ad == nil {
 			return nil
 		}
-		r.oracle.insert(*op.Ad)
-		r.plain.Insert(*op.Ad)
-		if r.dur != nil {
-			r.dur.ix.Insert(*op.Ad)
-		}
-		if r.net != nil {
-			r.net.insert(*op.Ad)
-		}
+		r.insertEverywhere(*op.Ad)
 	case OpDelete:
 		want := r.oracle.remove(op.ID, op.Phrase)
 		if got := r.plain.Delete(op.ID, op.Phrase); got != want {
@@ -203,6 +206,52 @@ func (r *runner) apply(i int, op *Op) *Failure {
 		if r.net != nil {
 			r.net.heal(op.Replica)
 		}
+	case OpSplit, OpMerge, OpMigrate:
+		if r.enet == nil {
+			return nil
+		}
+		// The mid-handoff callback interleaves real traffic with the live
+		// handoff: an insert that must cross via the dual-write journal,
+		// and a query that must answer exactly while moved ads exist
+		// physically on both source and target. It fires on replica 0's
+		// pre-cutover phases, when every replica still serves the old
+		// epoch, so the fan-out sees a consistent deployment.
+		var midFail *Failure
+		inserted := false
+		mid := func(phase string) {
+			switch phase {
+			case "load":
+				if op.Ad != nil && !inserted {
+					inserted = true
+					r.insertEverywhere(*op.Ad)
+				}
+			case "catchup":
+				if op.Query != "" && midFail == nil {
+					midFail = r.checkNetQuery(i, op.Query, "mid-handoff")
+				}
+			}
+		}
+		applied, divergence := r.enet.rebalance(op, mid)
+		if divergence != "" {
+			return fail("net", "%s %s", op.Kind, divergence)
+		}
+		if midFail != nil {
+			return midFail
+		}
+		// An invalid rebalance (shrinker residue) no-ops; its payload ad
+		// is inserted anyway so the oracle and the schedule's later
+		// deletes/queries stay aligned with generation-time bookkeeping.
+		if !applied && op.Ad != nil && !inserted {
+			r.insertEverywhere(*op.Ad)
+		}
+		// The cutover epoch bump makes the routed client's next query
+		// stale; it must absorb that with a refresh, not a failure.
+		if applied && op.Query != "" {
+			if f := r.checkNetQuery(i, op.Query, "post-cutover"); f != nil {
+				return f
+			}
+		}
+		r.checks++
 	case OpCompressed:
 		snap, err := r.plain.Snapshot(r.cfg.SuffixBits)
 		if err != nil {
@@ -260,16 +309,43 @@ func (r *runner) checkQuery(i int, q string) *Failure {
 	}
 
 	if r.net != nil {
-		ids, err := r.net.client.Query(q)
-		if err != nil {
-			return fail("net", "query %q failed: %v", q, err)
+		if f := r.checkNetQuery(i, q, ""); f != nil {
+			return f
 		}
-		sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
-		if d := diffIDs(ids, r.oracle.matchIDs(q)); d != "" {
-			return fail("net", "query %q: %s", q, d)
-		}
-		r.checks++
 	}
+	return nil
+}
+
+// insertEverywhere applies one insert to the oracle and every live
+// target (also reached from the mid-handoff rebalance callback).
+func (r *runner) insertEverywhere(ad corpus.Ad) {
+	r.oracle.insert(ad)
+	r.plain.Insert(ad)
+	if r.dur != nil {
+		r.dur.ix.Insert(ad)
+	}
+	if r.net != nil {
+		r.net.insert(ad)
+	}
+}
+
+// checkNetQuery runs one query over the wire and compares the ID
+// multiset against the oracle. when annotates the failure detail (e.g.
+// "mid-handoff"); "" for the ordinary query path.
+func (r *runner) checkNetQuery(i int, q, when string) *Failure {
+	prefix := ""
+	if when != "" {
+		prefix = when + " "
+	}
+	ids, err := r.net.query(q)
+	if err != nil {
+		return &Failure{OpIndex: i, Target: "net", Detail: fmt.Sprintf("%squery %q failed: %v", prefix, q, err)}
+	}
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	if d := diffIDs(ids, r.oracle.matchIDs(q)); d != "" {
+		return &Failure{OpIndex: i, Target: "net", Detail: fmt.Sprintf("%squery %q: %s", prefix, q, d)}
+	}
+	r.checks++
 	return nil
 }
 
@@ -295,6 +371,9 @@ func (r *runner) checkState(i int) *Failure {
 	if r.net != nil {
 		if got := r.net.numAds(); got != want {
 			return fail("net", "NumAds = %d, oracle says %d", got, want)
+		}
+		if d := r.net.stateCheck(); d != "" {
+			return fail("net", "%s", d)
 		}
 		r.checks++
 	}

@@ -26,6 +26,7 @@ import (
 	"strings"
 
 	"adindex/internal/corpus"
+	"adindex/internal/shard"
 )
 
 // Kind enumerates the schedule operation types.
@@ -58,6 +59,13 @@ const (
 	OpHeal
 	// OpCompressed builds a compressed snapshot and checks its queries.
 	OpCompressed
+	// OpSplit splits elastic shard Shard onto a fresh shard (live handoff
+	// with a mid-handoff insert of Ad and a mid-handoff check of Query).
+	OpSplit
+	// OpMerge merges all slots of elastic shard Shard onto shard To.
+	OpMerge
+	// OpMigrate moves half of elastic shard Shard's slots onto shard To.
+	OpMigrate
 )
 
 var kindNames = map[Kind]string{
@@ -73,6 +81,9 @@ var kindNames = map[Kind]string{
 	OpKill:         "kill",
 	OpHeal:         "heal",
 	OpCompressed:   "compressed",
+	OpSplit:        "split",
+	OpMerge:        "merge",
+	OpMigrate:      "migrate",
 }
 
 // String returns the stable lowercase op name used in traces.
@@ -104,13 +115,18 @@ func (k *Kind) UnmarshalJSON(b []byte) error {
 // Op is one schedule step. Only the fields relevant to Kind are set.
 type Op struct {
 	Kind    Kind       `json:"kind"`
-	Ad      *corpus.Ad `json:"ad,omitempty"`      // OpInsert
+	Ad      *corpus.Ad `json:"ad,omitempty"`      // OpInsert; rebalance ops: mid-handoff insert
 	ID      uint64     `json:"id,omitempty"`      // OpDelete
 	Phrase  string     `json:"phrase,omitempty"`  // OpDelete
-	Query   string     `json:"query,omitempty"`   // OpQuery, OpObserve
+	Query   string     `json:"query,omitempty"`   // OpQuery, OpObserve; rebalance ops: mid-handoff check
 	Queries []string   `json:"queries,omitempty"` // OpBatch, OpCompressed
 	Replica int        `json:"replica"`           // OpKill, OpHeal
 	Torn    bool       `json:"torn,omitempty"`    // OpCrash
+	// Shard and To address elastic rebalance ops: OpSplit moves half of
+	// Shard's slots to a fresh shard, OpMerge moves all of Shard's slots
+	// to To, OpMigrate moves half of Shard's slots to To.
+	Shard int `json:"shard,omitempty"`
+	To    int `json:"to,omitempty"`
 	// Rewrite additionally checks OpQuery through BroadMatchRewrite (and
 	// the discounted auction) against the oracle's rewrite model.
 	Rewrite bool `json:"rewrite,omitempty"` // OpQuery
@@ -192,6 +208,15 @@ func Generate(cfg Config) Schedule {
 	if cfg.Net {
 		choices = append(choices, choice{OpKill, 4}, choice{OpHeal, 4})
 	}
+	// shadow mirrors the elastic deployment's routing table so rebalance
+	// ops are generated valid (the runner still no-ops invalid ones a
+	// shrinker may produce). Extra rng draws happen only under
+	// cfg.Elastic, keeping other configs' schedules byte-identical.
+	var shadow *shard.RoutingTable
+	if cfg.Elastic {
+		shadow, _ = shard.NewRoutingTable(cfg.Shards, simElasticSlots)
+		choices = append(choices, choice{OpSplit, 3}, choice{OpMigrate, 3}, choice{OpMerge, 2})
+	}
 	total := 0
 	for _, c := range choices {
 		total += c.weight
@@ -265,9 +290,92 @@ func Generate(cfg Config) Schedule {
 				ops = append(ops, Op{Kind: OpHeal, Replica: killed})
 				killed = -1
 			}
+		case OpSplit, OpMerge, OpMigrate:
+			op, next, ok := genRebalance(rng, kind, shadow)
+			if !ok {
+				continue // topology cannot support this rebalance right now
+			}
+			shadow = next
+			// Every rebalance carries mid-handoff traffic: an insert that
+			// must cross via the dual-write journal and a query that must
+			// answer correctly while physical copies exist on both sides.
+			pi := rng.Intn(len(pool))
+			ad := pool[pi]
+			op.Ad = &ad
+			live = append(live, pi)
+			op.Query = genQuery(rng, vocab, pool, live, g)
+			ops = append(ops, op)
 		}
 	}
 	return Schedule{Seed: cfg.Seed, Ops: ops}
+}
+
+// genRebalance picks a valid rebalance for the shadow table, returning
+// the op and the successor table, or ok=false when the topology cannot
+// support that rebalance kind (e.g. split at the shard cap).
+func genRebalance(rng *rand.Rand, kind Kind, t *shard.RoutingTable) (Op, *shard.RoutingTable, bool) {
+	active := t.ActiveShards()
+	splittable := func() []int {
+		var out []int
+		for _, s := range active {
+			if len(t.SlotsOf(s)) >= 2 {
+				out = append(out, s)
+			}
+		}
+		return out
+	}
+	switch kind {
+	case OpSplit:
+		if t.NumShards >= simElasticMaxShards {
+			return Op{}, nil, false
+		}
+		cands := splittable()
+		if len(cands) == 0 {
+			return Op{}, nil, false
+		}
+		s := cands[rng.Intn(len(cands))]
+		next, err := t.MoveSlots(t.SplitSlots(s), t.NumShards)
+		if err != nil {
+			return Op{}, nil, false
+		}
+		return Op{Kind: OpSplit, Shard: s}, next, true
+	case OpMigrate:
+		cands := splittable()
+		if len(cands) == 0 || len(active) < 2 {
+			return Op{}, nil, false
+		}
+		from := cands[rng.Intn(len(cands))]
+		var targets []int
+		for _, s := range active {
+			if s != from {
+				targets = append(targets, s)
+			}
+		}
+		to := targets[rng.Intn(len(targets))]
+		next, err := t.MoveSlots(t.SplitSlots(from), to)
+		if err != nil {
+			return Op{}, nil, false
+		}
+		return Op{Kind: OpMigrate, Shard: from, To: to}, next, true
+	default: // OpMerge
+		if len(active) < 2 {
+			return Op{}, nil, false
+		}
+		fi := rng.Intn(len(active))
+		from := active[fi]
+		var targets []int
+		for _, s := range active {
+			if s != from {
+				targets = append(targets, s)
+			}
+		}
+		to := targets[rng.Intn(len(targets))]
+		next, err := t.MoveSlots(t.SlotsOf(from), to)
+		if err != nil {
+			return Op{}, nil, false
+		}
+		return Op{Kind: OpMerge, Shard: from, To: to}, next, true
+	}
 }
 
 // makePool pre-generates the ad pool: small vocabulary, phrase lengths

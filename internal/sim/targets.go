@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"adindex"
+	"adindex/internal/core"
 	"adindex/internal/corpus"
 	"adindex/internal/diskfault"
 	"adindex/internal/faultnet"
@@ -81,6 +82,22 @@ func indexOptions(cfg Config) adindex.Options {
 	return opts
 }
 
+// netDeployment is the networked target seen by the runner: the static
+// sharded deployment (netTarget) or the elastic one (elasticTarget).
+type netDeployment interface {
+	insert(ad corpus.Ad)
+	delete(id uint64, phrase string) (found bool, diverged bool)
+	query(q string) ([]uint64, error)
+	kill(r int)
+	heal(r int)
+	numAds() int
+	// stateCheck returns a non-empty divergence description when the
+	// deployment's own cross-replica invariants fail (epoch lockstep,
+	// route validity); "" when healthy.
+	stateCheck() string
+	close()
+}
+
 // netTarget is the sharded, replicated TCP deployment: Replicas copies
 // of a Shards-way ShardedIndex, each shard server fronted by a faultnet
 // proxy, queried through one shard.NetClient with strict semantics.
@@ -134,23 +151,35 @@ func newNetTarget(cfg Config) (*netTarget, error) {
 		return nil, err
 	}
 	nt.adSrv = adSrv
-	client, err := shard.DialReplicaShards(replicaAddrs, adSrv.Addr(), shard.Options{
-		Conn: multiserver.ConnOpts{
-			Timeout:          2 * time.Second,
-			MaxRetries:       1,
-			RetryBase:        time.Millisecond,
-			RetryMax:         5 * time.Millisecond,
-			BreakerThreshold: 3,
-			BreakerCooldown:  20 * time.Millisecond,
-			Seed:             cfg.Seed,
-		},
-	})
+	client, err := shard.DialReplicaShards(replicaAddrs, adSrv.Addr(), shard.Options{Conn: simConnOpts(cfg)})
 	if err != nil {
 		nt.close()
 		return nil, err
 	}
 	nt.client = client
 	return nt, nil
+}
+
+// simConnOpts is the strict, fast-failing connection tuning shared by
+// both networked targets: tight retry/backoff so fault schedules run in
+// test time, deterministic jitter seeded by the run seed.
+func simConnOpts(cfg Config) multiserver.ConnOpts {
+	return multiserver.ConnOpts{
+		Timeout:          2 * time.Second,
+		MaxRetries:       1,
+		RetryBase:        time.Millisecond,
+		RetryMax:         5 * time.Millisecond,
+		BreakerThreshold: 3,
+		BreakerCooldown:  20 * time.Millisecond,
+		Seed:             cfg.Seed,
+	}
+}
+
+// coreOptions is indexOptions for targets built directly on core.Index
+// (the elastic clusters); it must agree with the single-node targets on
+// everything that affects match results.
+func coreOptions(cfg Config) core.Options {
+	return core.Options{MaxWords: cfg.MaxWords}
 }
 
 func (n *netTarget) insert(ad corpus.Ad) {
@@ -198,6 +227,10 @@ func (n *netTarget) heal(r int) {
 	}
 }
 
+func (n *netTarget) query(q string) ([]uint64, error) { return n.client.Query(q) }
+
+func (n *netTarget) stateCheck() string { return "" }
+
 func (n *netTarget) numAds() int {
 	if len(n.replicas) == 0 {
 		return 0
@@ -219,5 +252,207 @@ func (n *netTarget) close() {
 	}
 	for _, c := range n.closers {
 		c()
+	}
+}
+
+// The elastic deployment's fixed topology knobs: a small slot universe
+// so splits/merges interact within short schedules, and a low shard cap
+// so schedules hit the growth boundary. The generator's shadow table
+// (Generate) must mirror these exactly.
+const (
+	simElasticSlots     = 16
+	simElasticMaxShards = 4
+)
+
+// elasticTarget is the elastic networked deployment: Replicas copies of
+// a shard.ElasticCluster, every shard position of every replica served
+// by an epoch-checking TCP server behind a faultnet proxy, queried
+// through one routed shard.NetClient. Rebalance ops run the live
+// handoff on every replica in lockstep (so epochs agree), with the
+// runner's mid-handoff callback interleaving an insert (through the
+// dual-write journal) and an oracle-checked query on replica 0's
+// pre-cutover phases.
+type elasticTarget struct {
+	cfg        Config
+	replicas   []*shard.ElasticCluster
+	servings   []*shard.ElasticServing
+	proxies    [][]*faultnet.Proxy // [replica][position]
+	proxyAddrs [][]string          // [replica][position]
+	adSrv      *multiserver.Server
+	client     *shard.NetClient
+	dead       int // replica currently partitioned, -1 = none
+}
+
+func newElasticTarget(cfg Config) (*elasticTarget, error) {
+	e := &elasticTarget{cfg: cfg, dead: -1}
+	eopts := shard.ElasticOptions{
+		Slots:     simElasticSlots,
+		MaxShards: simElasticMaxShards,
+		Index:     coreOptions(cfg),
+	}
+	for r := 0; r < cfg.Replicas; r++ {
+		ec, err := shard.NewElastic(nil, cfg.Shards, eopts)
+		if err != nil {
+			e.close()
+			return nil, err
+		}
+		es, err := ec.Serve()
+		if err != nil {
+			e.close()
+			return nil, err
+		}
+		e.replicas = append(e.replicas, ec)
+		e.servings = append(e.servings, es)
+		var row []*faultnet.Proxy
+		var addrs []string
+		for _, addr := range es.Addrs() {
+			p, err := faultnet.New(addr, nil)
+			if err != nil {
+				e.close()
+				return nil, err
+			}
+			row = append(row, p)
+			addrs = append(addrs, p.Addr())
+		}
+		e.proxies = append(e.proxies, row)
+		e.proxyAddrs = append(e.proxyAddrs, addrs)
+	}
+	adSrv, err := multiserver.NewAdServer("127.0.0.1:0", multiserver.ServeOpts{}, nil)
+	if err != nil {
+		e.close()
+		return nil, err
+	}
+	e.adSrv = adSrv
+	client, err := shard.DialRoute(func() (*shard.Route, error) {
+		// Replica 0's table is authoritative; epochs are in lockstep
+		// outside rebalance calls, and the proxy addresses are static
+		// (positions are pre-provisioned up to the shard cap).
+		return e.replicas[0].RouteOver(e.proxyAddrs...), nil
+	}, adSrv.Addr(), shard.Options{Conn: simConnOpts(cfg)})
+	if err != nil {
+		e.close()
+		return nil, err
+	}
+	e.client = client
+	return e, nil
+}
+
+func (e *elasticTarget) insert(ad corpus.Ad) {
+	for _, ec := range e.replicas {
+		ec.Insert(ad)
+	}
+}
+
+func (e *elasticTarget) delete(id uint64, phrase string) (found bool, diverged bool) {
+	for i, ec := range e.replicas {
+		f := ec.Delete(id, phrase)
+		if i == 0 {
+			found = f
+		} else if f != found {
+			return found, true
+		}
+	}
+	return found, false
+}
+
+func (e *elasticTarget) query(q string) ([]uint64, error) { return e.client.Query(q) }
+
+func (e *elasticTarget) kill(r int) {
+	if e.dead >= 0 || r < 0 || r >= len(e.proxies) {
+		return
+	}
+	e.dead = r
+	for _, p := range e.proxies[r] {
+		p.Partition()
+	}
+}
+
+func (e *elasticTarget) heal(r int) {
+	if r != e.dead || r < 0 || r >= len(e.proxies) {
+		return
+	}
+	e.dead = -1
+	for _, p := range e.proxies[r] {
+		p.Heal()
+	}
+}
+
+func (e *elasticTarget) numAds() int {
+	if len(e.replicas) == 0 {
+		return 0
+	}
+	return e.replicas[0].NumAds()
+}
+
+// stateCheck enforces the elastic deployment's own invariants: every
+// replica at the same routing epoch and a structurally valid route.
+func (e *elasticTarget) stateCheck() string {
+	e0 := e.replicas[0]
+	for ri, ec := range e.replicas {
+		if got, want := ec.Epoch(), e0.Epoch(); got != want {
+			return fmt.Sprintf("replica %d at epoch %d, replica 0 at %d", ri, got, want)
+		}
+	}
+	if err := e0.RouteOver(e.proxyAddrs...).Validate(); err != nil {
+		return fmt.Sprintf("published route invalid: %v", err)
+	}
+	return ""
+}
+
+// rebalance applies one split/merge/migrate to every replica in
+// lockstep. The mid callback fires at replica 0's pre-cutover handoff
+// phases (all replicas are still at the old epoch then, so traffic from
+// inside the callback sees a consistent deployment). Invalid rebalances
+// (possible after shrinking) no-op identically on every replica; a
+// split verdict or an epoch divergence is returned as a description.
+func (e *elasticTarget) rebalance(op *Op, mid func(phase string)) (applied bool, divergence string) {
+	outcomes := make([]error, len(e.replicas))
+	for ri, ec := range e.replicas {
+		if ri == 0 && mid != nil {
+			ec.SetRebalanceHook(func(phase string, _ []byte) error {
+				mid(phase)
+				return nil
+			})
+		}
+		var err error
+		switch op.Kind {
+		case OpSplit:
+			_, err = ec.Split(op.Shard)
+		case OpMerge:
+			err = ec.Merge(op.Shard, op.To)
+		case OpMigrate:
+			err = ec.Migrate(op.Shard, op.To)
+		}
+		if ri == 0 && mid != nil {
+			ec.SetRebalanceHook(nil)
+		}
+		outcomes[ri] = err
+	}
+	for ri := 1; ri < len(outcomes); ri++ {
+		if (outcomes[ri] == nil) != (outcomes[0] == nil) {
+			return false, fmt.Sprintf("replicas disagree on %s(%d,%d): replica 0 %v, replica %d %v",
+				op.Kind, op.Shard, op.To, outcomes[0], ri, outcomes[ri])
+		}
+	}
+	if d := e.stateCheck(); d != "" {
+		return false, d
+	}
+	return outcomes[0] == nil, ""
+}
+
+func (e *elasticTarget) close() {
+	if e.client != nil {
+		e.client.Close()
+	}
+	for _, row := range e.proxies {
+		for _, p := range row {
+			p.Close()
+		}
+	}
+	if e.adSrv != nil {
+		e.adSrv.Close()
+	}
+	for _, es := range e.servings {
+		es.Close()
 	}
 }
