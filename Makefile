@@ -28,7 +28,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race -short . ./internal/server ./internal/multiserver \
+	$(GO) test -race -short . ./internal/core ./internal/server ./internal/multiserver \
 		./internal/faultnet ./internal/shard ./internal/durable ./internal/diskfault \
 		./internal/rewrite ./internal/sim ./internal/simclock
 
@@ -73,23 +73,34 @@ cover:
 	$(GO) tool cover -func=cover.out | tail -1
 
 # Ten seconds of coverage-guided fuzzing each over the corpus text
-# format round-trip property (Read ∘ Write = id on accepted inputs) and
-# the bounded-Levenshtein trie walk (walk ≡ naive DP over every stored
-# word).
+# format round-trip property (Read ∘ Write = id on accepted inputs), the
+# bounded-Levenshtein trie walk (walk ≡ naive DP over every stored
+# word), and the columnar signature prefilter (prefiltered scan ≡ naive
+# per-record subset scan under random insert/remove churn).
 fuzzsmoke:
 	$(GO) test -run='^$$' -fuzz=FuzzReadAds -fuzztime=10s ./internal/corpus
 	$(GO) test -run='^$$' -fuzz=FuzzLevenshteinWalk -fuzztime=10s ./internal/rewrite
+	$(GO) test -run='^$$' -fuzz=FuzzSignaturePrefilter -fuzztime=10s ./internal/core
 
-# One iteration of every root benchmark: keeps them compiling and
-# running without timing anything.
+# One iteration of every root benchmark (keeps them compiling and
+# running without timing anything), then the benchmark regression gate
+# over the committed perf reports. BENCHGATE_ALLOW grants each copy-out
+# variant exactly one extra alloc/op versus BENCH_PR3.json: the
+# exclusion-set string arena copied out per query was added after PR3's
+# recording. Any regression beyond that documented delta fails.
+BENCHGATE_ALLOW = -allow-allocs snapshot=1 -allow-allocs snapshot-append=1
 benchsmoke:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .
+	$(GO) run ./cmd/benchgate -old BENCH_PR3.json -new BENCH_PR8.json $(BENCHGATE_ALLOW)
 
-# Reproducible before/after numbers for the snapshot read path; writes
-# BENCH_PR3.json, quoted in README "Performance".
+# Reproducible before/after numbers for the broad-match read path;
+# writes BENCH_PR8.json (quoted in README "Performance"), then gates the
+# fresh recording against the prior report so a regression cannot be
+# committed silently.
 bench:
 	$(GO) run ./cmd/adbench -experiment perf -ads 20000 -queries 5000 \
-		-stream 50000 -out BENCH_PR3.json
+		-stream 50000 -out BENCH_PR8.json
+	$(GO) run ./cmd/benchgate -old BENCH_PR3.json -new BENCH_PR8.json $(BENCHGATE_ALLOW)
 
 # Serving quality across a live topology change (split, migrate, merge
 # under closed-loop load); writes BENCH_PR7.json, quoted in README

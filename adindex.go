@@ -251,13 +251,14 @@ func (ix *Index) insertLocked(ad Ad) {
 	// Appending in place is safe: published snapshots hold delta slice
 	// headers with the old length, so they never observe the new element,
 	// and readers of the new snapshot synchronize through the atomic
-	// pointer store below.
+	// pointer store below. deltaSigs is maintained in lockstep.
 	ix.publish(&snapshot{
-		base:    s.base,
-		delta:   append(s.delta, ad),
-		tombs:   s.tombs,
-		deleted: s.deleted,
-		epoch:   s.epoch + 1,
+		base:      s.base,
+		delta:     append(s.delta, ad),
+		deltaSigs: append(s.deltaSigs, core.SetSignature(ad.Words)),
+		tombs:     s.tombs,
+		deleted:   s.deleted,
+		epoch:     s.epoch + 1,
 	})
 }
 
@@ -289,8 +290,11 @@ func (ix *Index) deleteLocked(id uint64, phrase string) bool {
 			nd := make([]corpus.Ad, 0, len(s.delta)-1)
 			nd = append(nd, s.delta[:i]...)
 			nd = append(nd, s.delta[i+1:]...)
+			ns := make([]uint64, 0, len(s.deltaSigs)-1)
+			ns = append(ns, s.deltaSigs[:i]...)
+			ns = append(ns, s.deltaSigs[i+1:]...)
 			ix.publish(&snapshot{
-				base: s.base, delta: nd, tombs: s.tombs,
+				base: s.base, delta: nd, deltaSigs: ns, tombs: s.tombs,
 				deleted: s.deleted, epoch: s.epoch + 1,
 			})
 			return true
@@ -304,7 +308,7 @@ func (ix *Index) deleteLocked(id uint64, phrase string) bool {
 		}
 		nt[k]++
 		ix.publish(&snapshot{
-			base: s.base, delta: s.delta, tombs: nt,
+			base: s.base, delta: s.delta, deltaSigs: s.deltaSigs, tombs: nt,
 			deleted: s.deleted + 1, epoch: s.epoch + 1,
 		})
 		if len(nt) >= ix.opts.maxDeltaAds() {
@@ -317,7 +321,7 @@ func (ix *Index) deleteLocked(id uint64, phrase string) bool {
 	// Not found. The epoch still advances (matching the historical
 	// contract that every mutation attempt invalidates caches).
 	ix.publish(&snapshot{
-		base: s.base, delta: s.delta, tombs: s.tombs,
+		base: s.base, delta: s.delta, deltaSigs: s.deltaSigs, tombs: s.tombs,
 		deleted: s.deleted, epoch: s.epoch + 1,
 	})
 	return false
@@ -423,8 +427,8 @@ func (ix *Index) Optimize() (OptimizeReport, error) {
 			// churn sits in the overlay and applies verbatim on top of the
 			// new layout (tombstones and delta are layout-independent).
 			ix.publish(&snapshot{
-				base: rebuilt, delta: cur.delta, tombs: cur.tombs,
-				deleted: cur.deleted, epoch: cur.epoch + 1,
+				base: rebuilt, delta: cur.delta, deltaSigs: cur.deltaSigs,
+				tombs: cur.tombs, deleted: cur.deleted, epoch: cur.epoch + 1,
 			})
 			// Layout changes are not WAL-logged (the WAL holds logical
 			// mutations only), so persist the optimized placement as a

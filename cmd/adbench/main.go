@@ -21,7 +21,7 @@
 //	counters  §VII-C simulated hardware counters
 //	compress  §VI compressed lookup structure sizes
 //	ablation  design-choice sweeps (max_words, withdrawal, front coding)
-//	perf      locked baseline vs snapshot read path (writes BENCH_PR3.json)
+//	perf      locked AoS baseline vs columnar snapshot read path (writes BENCH_PR8.json)
 //	reshard   QPS/p99 before/during/after a live shard split (writes BENCH_PR7.json)
 package main
 

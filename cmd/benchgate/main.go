@@ -1,0 +1,160 @@
+// Command benchgate is the benchmark regression gate run by `make check`'s
+// bench smoke: it compares the committed perf report (BENCH_PR8.json)
+// against the prior recording (BENCH_PR3.json) and fails if serial QPS
+// dropped by more than the tolerance or allocs/op regressed.
+//
+// The gate compares committed artifacts, not a fresh run, so it is
+// deterministic and cheap enough for `make check`; re-recording a report
+// (`make bench`) immediately re-runs the gate, so a regression cannot be
+// committed silently.
+//
+// Variants are matched by their "name" field rather than their JSON key:
+// the meaning of a key can change between recordings (PR8's "before" is
+// the locked *reference* scan, not PR3's locked production path), and
+// comparing differently-named variants would gate nothing real. Variants
+// present in only one file are reported and skipped.
+//
+// Known, deliberate allocation changes are not grandfathered silently:
+// they must be declared with -allow-allocs name=delta at the call site
+// (see the Makefile), which documents the exception and still fails on
+// any further regression beyond it.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// variant is the subset of cmd/adbench's perfVariant the gate cares about.
+type variant struct {
+	Name        string  `json:"name"`
+	SerialQPS   float64 `json:"serial_qps"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// report is the subset of cmd/adbench's perf report schema the gate
+// reads. Keys absent from a file decode to zero-value variants with an
+// empty Name, which byName drops.
+type report struct {
+	Before      variant `json:"before"`
+	After       variant `json:"after"`
+	AfterAppend variant `json:"after_append"`
+	AfterBatch  variant `json:"after_batch"`
+}
+
+func (r *report) byName() map[string]variant {
+	m := make(map[string]variant)
+	for _, v := range []variant{r.Before, r.After, r.AfterAppend, r.AfterBatch} {
+		if v.Name != "" {
+			m[v.Name] = v
+		}
+	}
+	return m
+}
+
+// compare returns one problem string per gate violation and one note per
+// variant that could not be compared. maxDrop is the tolerated fractional
+// serial-QPS drop (0.10 = 10%); allowAllocs maps variant name to the
+// allocs/op increase explicitly granted at the call site.
+func compare(old, new map[string]variant, maxDrop float64, allowAllocs map[string]float64) (problems, notes []string) {
+	names := make([]string, 0, len(old))
+	for name := range old {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ov := old[name]
+		nv, ok := new[name]
+		if !ok {
+			notes = append(notes, fmt.Sprintf("variant %q only in old report; skipped", name))
+			continue
+		}
+		if floor := ov.SerialQPS * (1 - maxDrop); nv.SerialQPS < floor {
+			problems = append(problems, fmt.Sprintf(
+				"%s: serial QPS %.0f is %.1f%% below prior %.0f (tolerance %.0f%%)",
+				name, nv.SerialQPS, 100*(1-nv.SerialQPS/ov.SerialQPS), ov.SerialQPS, 100*maxDrop))
+		}
+		if ceil := ov.AllocsPerOp + allowAllocs[name]; nv.AllocsPerOp > ceil {
+			problems = append(problems, fmt.Sprintf(
+				"%s: allocs/op %.3f exceeds prior %.3f (allowance +%.3f)",
+				name, nv.AllocsPerOp, ov.AllocsPerOp, allowAllocs[name]))
+		}
+	}
+	for name := range new {
+		if _, ok := old[name]; !ok {
+			notes = append(notes, fmt.Sprintf("variant %q only in new report; skipped", name))
+		}
+	}
+	sort.Strings(notes)
+	return problems, notes
+}
+
+func load(path string) (map[string]variant, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	m := r.byName()
+	if len(m) == 0 {
+		return nil, fmt.Errorf("%s: no perf variants found (wrong schema?)", path)
+	}
+	return m, nil
+}
+
+func main() {
+	oldPath := flag.String("old", "", "prior perf report (baseline)")
+	newPath := flag.String("new", "", "current perf report under gate")
+	maxDrop := flag.Float64("max-qps-drop", 0.10, "tolerated fractional serial-QPS drop per variant")
+	allowAllocs := make(map[string]float64)
+	flag.Func("allow-allocs", "grant a variant an allocs/op increase, as name=delta (repeatable)", func(s string) error {
+		name, val, ok := strings.Cut(s, "=")
+		if !ok {
+			return fmt.Errorf("want name=delta, got %q", s)
+		}
+		d, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return err
+		}
+		allowAllocs[name] = d
+		return nil
+	})
+	flag.Parse()
+	if *oldPath == "" || *newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -old and -new are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	old, err := load(*oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	cur, err := load(*newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+
+	problems, notes := compare(old, cur, *maxDrop, allowAllocs)
+	for _, n := range notes {
+		fmt.Println("note:", n)
+	}
+	if len(problems) > 0 {
+		for _, p := range problems {
+			fmt.Fprintln(os.Stderr, "FAIL:", p)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("benchgate: %s vs %s OK (%d variants compared)\n",
+		*newPath, *oldPath, len(old))
+}

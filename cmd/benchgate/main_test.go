@@ -1,0 +1,94 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func vmap(vs ...variant) map[string]variant {
+	m := make(map[string]variant)
+	for _, v := range vs {
+		m[v.Name] = v
+	}
+	return m
+}
+
+func TestCompareClean(t *testing.T) {
+	old := vmap(variant{Name: "snapshot", SerialQPS: 100000, AllocsPerOp: 1})
+	cur := vmap(variant{Name: "snapshot", SerialQPS: 95000, AllocsPerOp: 1})
+	problems, notes := compare(old, cur, 0.10, nil)
+	if len(problems) != 0 {
+		t.Fatalf("unexpected problems: %v", problems)
+	}
+	if len(notes) != 0 {
+		t.Fatalf("unexpected notes: %v", notes)
+	}
+}
+
+func TestCompareQPSDrop(t *testing.T) {
+	old := vmap(variant{Name: "snapshot", SerialQPS: 100000})
+	cur := vmap(variant{Name: "snapshot", SerialQPS: 89000})
+	problems, _ := compare(old, cur, 0.10, nil)
+	if len(problems) != 1 || !strings.Contains(problems[0], "serial QPS") {
+		t.Fatalf("want one QPS problem, got %v", problems)
+	}
+}
+
+func TestCompareAllocsRegress(t *testing.T) {
+	old := vmap(variant{Name: "snapshot-append", SerialQPS: 100, AllocsPerOp: 0})
+	cur := vmap(variant{Name: "snapshot-append", SerialQPS: 100, AllocsPerOp: 1})
+	problems, _ := compare(old, cur, 0.10, nil)
+	if len(problems) != 1 || !strings.Contains(problems[0], "allocs/op") {
+		t.Fatalf("want one allocs problem, got %v", problems)
+	}
+
+	// An explicit allowance documents the change and absorbs exactly it...
+	problems, _ = compare(old, cur, 0.10, map[string]float64{"snapshot-append": 1})
+	if len(problems) != 0 {
+		t.Fatalf("allowance not applied: %v", problems)
+	}
+	// ...but any further regression beyond the allowance still fails.
+	cur = vmap(variant{Name: "snapshot-append", SerialQPS: 100, AllocsPerOp: 2.5})
+	problems, _ = compare(old, cur, 0.10, map[string]float64{"snapshot-append": 1})
+	if len(problems) != 1 {
+		t.Fatalf("regression beyond allowance not caught: %v", problems)
+	}
+}
+
+func TestCompareUnmatchedVariantsSkipped(t *testing.T) {
+	old := vmap(
+		variant{Name: "locked-rwmutex", SerialQPS: 100000},
+		variant{Name: "snapshot", SerialQPS: 100000},
+	)
+	cur := vmap(
+		variant{Name: "locked-reference", SerialQPS: 10}, // renamed: must not gate
+		variant{Name: "snapshot", SerialQPS: 99000},
+	)
+	problems, notes := compare(old, cur, 0.10, nil)
+	if len(problems) != 0 {
+		t.Fatalf("unexpected problems: %v", problems)
+	}
+	if len(notes) != 2 {
+		t.Fatalf("want 2 skip notes, got %v", notes)
+	}
+}
+
+func TestGateCommittedReports(t *testing.T) {
+	// The exact comparison `make check` runs, against the committed
+	// artifacts: if this fails, BENCH_PR8.json regressed vs BENCH_PR3.json.
+	old, err := load("../../BENCH_PR3.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur, err := load("../../BENCH_PR8.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Allowances mirror the Makefile: the exclusion-set string arena
+	// copy-out (added after BENCH_PR3.json was recorded) costs each
+	// copy-out variant exactly one allocation per query.
+	problems, _ := compare(old, cur, 0.10, map[string]float64{"snapshot": 1, "snapshot-append": 1})
+	if len(problems) != 0 {
+		t.Fatalf("committed reports fail the gate: %v", problems)
+	}
+}

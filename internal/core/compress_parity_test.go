@@ -1,0 +1,76 @@
+package core
+
+import (
+	"testing"
+
+	"adindex/internal/compress"
+	"adindex/internal/corpus"
+)
+
+// TestCompressColumnarParity pins differential parity between node
+// compression and the columnar mirrors: front-coding a node's records and
+// decoding them back must reproduce exactly the record order the node
+// held, and re-inserting the decoded records into a fresh node must
+// rebuild byte-identical signature, word-count, and word-hash columns.
+// This is the invariant that lets a future paged layout drop the mirrors
+// on encode and rebuild them on decode without a differential risk.
+func TestCompressColumnarParity(t *testing.T) {
+	c := corpus.Generate(corpus.GenOptions{NumAds: 1500, Seed: 87})
+	// Small MaxWords forces re-mapping, so nodes hold mixed-length record
+	// groups — the interesting shape for both front-coding and columns.
+	ix := New(c.Ads, Options{MaxWords: 3})
+
+	nodes := 0
+	var nodeList []*node
+	ix.table.each(func(_ uint64, n *node) bool {
+		nodeList = append(nodeList, n)
+		return true
+	})
+	for _, n := range nodeList {
+		nodes++
+		enc := compress.EncodeNode(n.records)
+		dec, err := compress.DecodeNode(enc)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if len(dec) != len(n.records) {
+			t.Fatalf("round-trip length %d, want %d", len(dec), len(n.records))
+		}
+		rebuilt := &node{id: n.id}
+		for i := range dec {
+			if dec[i].ID != n.records[i].ID || dec[i].Phrase != n.records[i].Phrase {
+				t.Fatalf("record %d round-tripped as (%d,%q), want (%d,%q)",
+					i, dec[i].ID, dec[i].Phrase, n.records[i].ID, n.records[i].Phrase)
+			}
+			rebuilt.insert(dec[i])
+		}
+		if !rebuilt.checkColumns() {
+			t.Fatal("rebuilt node columns inconsistent")
+		}
+		if len(rebuilt.sigs) != len(n.sigs) {
+			t.Fatalf("rebuilt %d sigs, want %d", len(rebuilt.sigs), len(n.sigs))
+		}
+		for i := range n.sigs {
+			if rebuilt.sigs[i] != n.sigs[i] {
+				t.Fatalf("sig column diverged at %d: %x vs %x", i, rebuilt.sigs[i], n.sigs[i])
+			}
+			if rebuilt.wcs[i] != n.wcs[i] {
+				t.Fatalf("wc column diverged at %d: %d vs %d", i, rebuilt.wcs[i], n.wcs[i])
+			}
+		}
+		if len(rebuilt.wordHashes) != len(n.wordHashes) {
+			t.Fatalf("rebuilt %d word hashes, want %d", len(rebuilt.wordHashes), len(n.wordHashes))
+		}
+		for i := range n.wordHashes {
+			if rebuilt.wordHashes[i] != n.wordHashes[i] {
+				t.Fatalf("word-hash column diverged at %d", i)
+			}
+		}
+		if rebuilt.bytes != n.bytes {
+			t.Fatalf("rebuilt bytes %d, want %d", rebuilt.bytes, n.bytes)
+		}
+	}
+	if nodes == 0 {
+		t.Fatal("no nodes built")
+	}
+}

@@ -110,20 +110,21 @@ func TestCheckInvariantsDetectsCorruption(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Corrupt a node's byte counter.
-	for _, n := range ix.table {
+	ix.table.each(func(_ uint64, n *node) bool {
 		n.bytes += 7
-		break
-	}
+		return false
+	})
 	if err := ix.CheckInvariants(); err == nil {
 		t.Error("byte-count corruption undetected")
 	}
 	// Fresh index: corrupt record order.
 	ix2 := New(mustAds("a", "a b c"), Options{})
-	for _, n := range ix2.table {
+	ix2.table.each(func(_ uint64, n *node) bool {
 		if len(n.records) >= 2 {
 			n.records[0], n.records[1] = n.records[1], n.records[0]
 		}
-	}
+		return true
+	})
 	err := ix2.CheckInvariants()
 	_ = err // order corruption only exists if a node had 2 records; accept either
 	// Corrupt locOf to point at a missing locator.
@@ -134,11 +135,10 @@ func TestCheckInvariantsDetectsCorruption(t *testing.T) {
 	}
 	// Empty node.
 	ix4 := New(mustAds("p q"), Options{})
-	for h, n := range ix4.table {
+	ix4.table.each(func(_ uint64, n *node) bool {
 		n.records = nil
-		_ = h
-		break
-	}
+		return false
+	})
 	if err := ix4.CheckInvariants(); err == nil {
 		t.Error("empty node undetected")
 	}

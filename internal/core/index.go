@@ -46,8 +46,10 @@ func (o *Options) fillDefaults() {
 type Index struct {
 	opts Options
 
-	// table is H: wordhash(locator) -> data node.
-	table map[uint64]*node
+	// table is H: wordhash(locator) -> data node, fused with the
+	// refcounted locator-prefix frontier filter that lets subset
+	// enumeration prune DFS subtrees no locator extends (see probeTable).
+	table probeTable
 	// locOf maps each distinct word-set key to the key of the locator
 	// whose node stores its ads (the mapping M, grouped per condition IV).
 	locOf map[string]string
@@ -61,6 +63,10 @@ type Index struct {
 	// df is the per-word document frequency across indexed bids, used by
 	// query-word filtering and the locator heuristic.
 	df map[string]int
+
+	// nodeSeq issues the per-index node ids that query scratch state uses
+	// to dedupe visited nodes in O(1).
+	nodeSeq uint64
 
 	numAds int
 }
@@ -123,7 +129,6 @@ func newEmpty(opts Options) *Index {
 	opts.fillDefaults()
 	return &Index{
 		opts:     opts,
-		table:    make(map[uint64]*node),
 		locOf:    make(map[string]string),
 		locWords: make(map[string][]string),
 		locRef:   make(map[string]int),
@@ -139,7 +144,7 @@ func (ix *Index) Options() Options { return ix.opts }
 func (ix *Index) NumAds() int { return ix.numAds }
 
 // NumNodes returns the number of data nodes (entries in H).
-func (ix *Index) NumNodes() int { return len(ix.table) }
+func (ix *Index) NumNodes() int { return ix.table.len() }
 
 // NumDistinctSets returns the number of distinct indexed word sets.
 func (ix *Index) NumDistinctSets() int { return len(ix.setCount) }
@@ -188,13 +193,37 @@ func (ix *Index) place(ad corpus.Ad, loc []string) {
 }
 
 func (ix *Index) addToLocator(ad corpus.Ad, locKey string) {
-	h := WordHash(ix.locWords[locKey])
-	n := ix.table[h]
+	loc := ix.locWords[locKey]
+	h := WordHash(loc)
+	n := ix.table.get(h)
 	if n == nil {
-		n = &node{}
-		ix.table[h] = n
+		ix.nodeSeq++
+		n = &node{id: ix.nodeSeq}
+		ix.table.put(h, n)
 	}
 	n.insert(ad)
+	ix.addPrefixes(loc)
+}
+
+// addPrefixes registers one record's worth of references to every prefix
+// of loc (in sorted order, hashed incrementally exactly as subset
+// enumeration does).
+func (ix *Index) addPrefixes(loc []string) {
+	h := uint64(fnvOffset64)
+	for i, w := range loc {
+		h = hashExtend(h, i == 0, w)
+		ix.table.inc(h)
+	}
+}
+
+// dropPrefixes releases one record's worth of references to every prefix
+// of loc.
+func (ix *Index) dropPrefixes(loc []string) {
+	h := uint64(fnvOffset64)
+	for i, w := range loc {
+		h = hashExtend(h, i == 0, w)
+		ix.table.dec(h)
+	}
 }
 
 // chooseLocator implements the fast local heuristic of Section VI: short
@@ -239,11 +268,13 @@ func (ix *Index) Delete(id uint64, phrase string) bool {
 	if !ok {
 		return false
 	}
-	h := WordHash(ix.locWords[locKey])
-	n := ix.table[h]
+	loc := ix.locWords[locKey]
+	h := WordHash(loc)
+	n := ix.table.get(h)
 	if n == nil || !n.remove(id, key) {
 		return false
 	}
+	ix.dropPrefixes(loc)
 	ix.numAds--
 	for _, w := range words {
 		if ix.df[w]--; ix.df[w] == 0 {
@@ -259,7 +290,7 @@ func (ix *Index) Delete(id uint64, phrase string) bool {
 		}
 	}
 	if len(n.records) == 0 {
-		delete(ix.table, h)
+		ix.table.del(h)
 	}
 	return true
 }
@@ -276,7 +307,7 @@ func (ix *Index) Lookup(id uint64, phrase string) int {
 	if !ok {
 		return 0
 	}
-	n := ix.table[WordHash(ix.locWords[locKey])]
+	n := ix.table.get(WordHash(ix.locWords[locKey]))
 	if n == nil {
 		return 0
 	}
@@ -314,9 +345,10 @@ func (ix *Index) AppendAds(dst []corpus.Ad) []corpus.Ad {
 		copy(grown, dst)
 		dst = grown
 	}
-	for _, n := range ix.table {
+	ix.table.each(func(_ uint64, n *node) bool {
 		dst = append(dst, n.records...)
-	}
+		return true
+	})
 	return dst
 }
 
@@ -328,7 +360,7 @@ func (ix *Index) AppendAds(dst []corpus.Ad) []corpus.Ad {
 // mutation for the whole call (fn interleaves with a live iteration).
 func (ix *Index) AppendAdsChunks(n int, fn func([]corpus.Ad)) {
 	chunk := make([]corpus.Ad, 0, n)
-	for _, node := range ix.table {
+	ix.table.each(func(_ uint64, node *node) bool {
 		for _, r := range node.records {
 			chunk = append(chunk, r)
 			if len(chunk) == n {
@@ -336,7 +368,8 @@ func (ix *Index) AppendAdsChunks(n int, fn func([]corpus.Ad)) {
 				chunk = chunk[:0]
 			}
 		}
-	}
+		return true
+	})
 	if len(chunk) > 0 {
 		fn(chunk)
 	}
@@ -346,9 +379,10 @@ func (ix *Index) AppendAdsChunks(n int, fn func([]corpus.Ad)) {
 // primarily used to rebuild an index under a new mapping.
 func (ix *Index) Ads() []corpus.Ad {
 	out := make([]corpus.Ad, 0, ix.numAds)
-	for _, n := range ix.table {
+	ix.table.each(func(_ uint64, n *node) bool {
 		out = append(out, n.records...)
-	}
+		return true
+	})
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
 }
@@ -366,13 +400,14 @@ type Stats struct {
 
 // Stats computes summary statistics.
 func (ix *Index) Stats() Stats {
-	s := Stats{NumAds: ix.numAds, NumNodes: len(ix.table), DistinctSets: len(ix.setCount)}
-	for _, n := range ix.table {
+	s := Stats{NumAds: ix.numAds, NumNodes: ix.table.len(), DistinctSets: len(ix.setCount)}
+	ix.table.each(func(_ uint64, n *node) bool {
 		s.NodeBytes += n.bytes
 		if len(n.records) > s.MaxNodeAds {
 			s.MaxNodeAds = len(n.records)
 		}
-	}
+		return true
+	})
 	if s.NumNodes > 0 {
 		s.AvgNodeAds = float64(s.NumAds) / float64(s.NumNodes)
 		s.AvgNodeBytes = float64(s.NodeBytes) / float64(s.NumNodes)
@@ -385,21 +420,33 @@ func (ix *Index) Stats() Stats {
 // counter consistency. Used by tests and by maintenance tooling.
 func (ix *Index) CheckInvariants() error {
 	count := 0
-	for h, n := range ix.table {
+	var nodeErr error
+	ix.table.each(func(h uint64, n *node) bool {
 		if len(n.records) == 0 {
-			return fmt.Errorf("core: empty node at hash %x", h)
+			nodeErr = fmt.Errorf("core: empty node at hash %x", h)
+			return false
 		}
 		if !n.checkOrdered() {
-			return fmt.Errorf("core: node %x records out of order", h)
+			nodeErr = fmt.Errorf("core: node %x records out of order", h)
+			return false
+		}
+		if !n.checkColumns() {
+			nodeErr = fmt.Errorf("core: node %x columnar mirrors out of sync", h)
+			return false
 		}
 		bytes := 0
 		for i := range n.records {
 			bytes += n.records[i].Size()
 		}
 		if bytes != n.bytes {
-			return fmt.Errorf("core: node %x byte count %d != recomputed %d", h, n.bytes, bytes)
+			nodeErr = fmt.Errorf("core: node %x byte count %d != recomputed %d", h, n.bytes, bytes)
+			return false
 		}
 		count += len(n.records)
+		return true
+	})
+	if nodeErr != nil {
+		return nodeErr
 	}
 	if count != ix.numAds {
 		return fmt.Errorf("core: record count %d != numAds %d", count, ix.numAds)
@@ -429,7 +476,7 @@ func (ix *Index) CheckInvariants() error {
 			return fmt.Errorf("core: locator %v longer than MaxWords=%d", loc, ix.opts.MaxWords)
 		}
 		// Every ad of this set must live in the locator's node.
-		n := ix.table[WordHash(loc)]
+		n := ix.table.get(WordHash(loc))
 		if n == nil {
 			return fmt.Errorf("core: no node for locator %v", loc)
 		}
@@ -444,5 +491,35 @@ func (ix *Index) CheckInvariants() error {
 				key, found, ix.setCount[key])
 		}
 	}
-	return nil
+	// Prefix refcounts must equal the per-record contributions of every
+	// live locator: each record stored under a k-word locator references
+	// each of the locator's k prefix hashes once.
+	want := make(map[uint64]uint32)
+	for key, locKey := range ix.locOf {
+		loc := ix.locWords[locKey]
+		n := uint32(ix.setCount[key])
+		h := uint64(fnvOffset64)
+		for i, w := range loc {
+			h = hashExtend(h, i == 0, w)
+			want[h] += n
+		}
+	}
+	livePrefixes := 0
+	ix.table.eachPrefix(func(uint64, uint32) bool {
+		livePrefixes++
+		return true
+	})
+	if livePrefixes != len(want) {
+		return fmt.Errorf("core: prefix filter has %d live hashes, locators imply %d",
+			livePrefixes, len(want))
+	}
+	var prefErr error
+	ix.table.eachPrefix(func(h uint64, cnt uint32) bool {
+		if want[h] != cnt {
+			prefErr = fmt.Errorf("core: prefix %x refcount %d, locators imply %d", h, cnt, want[h])
+			return false
+		}
+		return true
+	})
+	return prefErr
 }

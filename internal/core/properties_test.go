@@ -149,9 +149,14 @@ func TestCounterInvariantsQuick(t *testing.T) {
 	}
 }
 
-// The probe count actually performed matches LookupsForQueryLength exactly
-// for fully indexed queries.
+// LookupsForQueryLength is the worst-case probe bound of Section IV-B.
+// Locator-prefix pruning keeps actual probes at or below it — strictly
+// below whenever some enumerated subset is not a live locator prefix —
+// and exactly at it when every enumerable subset is itself indexed, since
+// then no DFS subtree can be pruned.
 func TestProbeCountMatchesFormula(t *testing.T) {
+	// Single-word ads: only singleton prefixes exist, so every multi-word
+	// subtree prunes and probes fall well below the formula.
 	ads := mustAds("a", "b", "c", "d", "e", "f", "g", "h")
 	for _, maxWords := range []int{2, 3, 5, 8} {
 		ix := New(ads, Options{MaxWords: maxWords, MaxQueryWords: 8})
@@ -161,11 +166,43 @@ func TestProbeCountMatchesFormula(t *testing.T) {
 		} {
 			var counters costmodel.Counters
 			ix.BroadMatch(q, &counters)
-			want := ix.LookupsForQueryLength(len(q))
-			if int(counters.HashProbes) != want {
-				t.Errorf("maxWords=%d |q|=%d: probes %d, formula %d",
-					maxWords, len(q), counters.HashProbes, want)
+			bound := ix.LookupsForQueryLength(len(q))
+			if int(counters.HashProbes) > bound {
+				t.Errorf("maxWords=%d |q|=%d: probes %d exceed bound %d",
+					maxWords, len(q), counters.HashProbes, bound)
 			}
+			if len(q) == 1 && int(counters.HashProbes) != bound {
+				t.Errorf("maxWords=%d singleton query: probes %d, want %d",
+					maxWords, counters.HashProbes, bound)
+			}
+		}
+	}
+	// Every non-empty subset of {a,b,c,d} indexed: nothing can prune, so
+	// the formula is exact.
+	words := []string{"a", "b", "c", "d"}
+	var phrases []string
+	for m := 1; m < 1<<len(words); m++ {
+		p := ""
+		for i, w := range words {
+			if m&(1<<i) != 0 {
+				if p != "" {
+					p += " "
+				}
+				p += w
+			}
+		}
+		phrases = append(phrases, p)
+	}
+	full := New(mustAds(phrases...), Options{MaxWords: 4, MaxQueryWords: 8})
+	for _, q := range [][]string{
+		{"a"}, {"a", "b"}, {"a", "b", "c"}, {"a", "b", "c", "d"},
+	} {
+		var counters costmodel.Counters
+		full.BroadMatch(q, &counters)
+		want := full.LookupsForQueryLength(len(q))
+		if int(counters.HashProbes) != want {
+			t.Errorf("all-subsets corpus |q|=%d: probes %d, formula %d",
+				len(q), counters.HashProbes, want)
 		}
 	}
 }

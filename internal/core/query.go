@@ -20,14 +20,58 @@ func byID(a, b *corpus.Ad) int {
 	return 0
 }
 
+// sortMatchesByID orders a match segment by ad ID. Match sets are small
+// and nearly sorted (each node contributes runs in ID order), so direct
+// insertion sort beats the generic comparator sort up to a few dozen
+// elements.
+func sortMatchesByID(m []*corpus.Ad) {
+	// Most queries draw all their matches from one node run, which is
+	// already ID-ordered: detect that with one linear scan before paying
+	// for a sort.
+	sorted := true
+	for i := 1; i < len(m); i++ {
+		if m[i].ID < m[i-1].ID {
+			sorted = false
+			break
+		}
+	}
+	if sorted {
+		return
+	}
+	if len(m) > 32 {
+		slices.SortFunc(m, byID)
+		return
+	}
+	for i := 1; i < len(m); i++ {
+		for j := i; j > 0 && m[j].ID < m[j-1].ID; j-- {
+			m[j], m[j-1] = m[j-1], m[j]
+		}
+	}
+}
+
+// sigColumnBytes is the number of bytes the cost model charges per record
+// the signature sweep rejects: the 64-bit signature itself. The signature
+// column streams sequentially, so a rejected record costs a fraction of
+// its full size; survivors are charged size(A) as Equation (2) prescribes
+// for records actually verified (their 8 signature bytes are subsumed in
+// that full-record charge, keeping the columnar path's accounted volume
+// at or below the pre-columnar scan's for every query).
+const sigColumnBytes = 8
+
 // Scratch holds the reusable per-query buffers of the allocation-free
-// query path: the prepared query and the visited-node list. A Scratch is
-// not safe for concurrent use; callers that care about allocations keep
-// one per worker (the adindex package pools them) and pass the same
-// instance to successive queries. The zero value is ready to use.
+// query path: the prepared query, its signature and sorted word hashes,
+// the visited-node list with its dedup set, and the per-node survivor
+// index buffer. A Scratch is not safe for concurrent use; callers that
+// care about allocations keep one per worker (the adindex package pools
+// them) and pass the same instance to successive queries. The zero value
+// is ready to use.
 type Scratch struct {
 	q       []string
+	qsig    uint64
+	qhashes []uint64
 	visited []*node
+	seen    nodeSet
+	surv    []int32
 }
 
 // Reset drops the scratch's references into index internals while keeping
@@ -35,9 +79,24 @@ type Scratch struct {
 // generation.
 func (sc *Scratch) Reset() {
 	sc.q = sc.q[:0]
+	sc.qsig = 0
+	sc.qhashes = sc.qhashes[:0]
 	v := sc.visited[:cap(sc.visited)]
 	clear(v)
 	sc.visited = sc.visited[:0]
+	sc.seen.reset()
+	sc.surv = sc.surv[:0]
+}
+
+// prepareSignature fills the scratch's query signature and sorted query
+// word hashes for the prepared query q.
+func (sc *Scratch) prepareSignature(q []string) {
+	sc.qhashes = appendSortedWordHashes(sc.qhashes[:0], q)
+	var sig uint64
+	for _, h := range sc.qhashes {
+		sig |= wordSigBits(h)
+	}
+	sc.qsig = sig
 }
 
 // BroadMatch returns every indexed ad whose word set is a subset of the
@@ -69,18 +128,98 @@ func (ix *Index) AppendBroadMatch(dst []*corpus.Ad, queryWords []string, counter
 		}
 		return dst
 	}
-	visited := ix.appendCandidateNodes(q, counters, sc.visited[:0])
-	sc.visited = visited
+	visited := ix.appendCandidateNodes(q, counters, sc)
 	mark := len(dst)
-	for _, n := range visited {
-		dst = ix.scanNode(n, q, counters, dst)
+	if len(visited) > 0 {
+		sc.prepareSignature(q)
+		for _, n := range visited {
+			dst = ix.scanNode(n, q, counters, sc, dst)
+		}
 	}
-	slices.SortFunc(dst[mark:], byID)
+	sortMatchesByID(dst[mark:])
 	if counters != nil {
 		counters.Queries++
 		counters.Matches += int64(len(dst) - mark)
 	}
 	return dst
+}
+
+// ReferenceBroadMatch is the pre-columnar broad-match path, retained
+// verbatim: subset enumeration deduping visited nodes by linear scan, and
+// an array-of-structs walk over each candidate node's records with a
+// per-record string subset check, charging every examined record its full
+// size per Equation (2). It is the differential baseline the columnar
+// scan is validated against (tests, fuzzing) and the benchmark's
+// before-variant; production callers use BroadMatch.
+func (ix *Index) ReferenceBroadMatch(queryWords []string, counters *costmodel.Counters) []*corpus.Ad {
+	q := ix.prepareQueryInto(nil, queryWords)
+	if len(q) == 0 {
+		if counters != nil {
+			counters.Queries++
+		}
+		return nil
+	}
+	k := ix.opts.MaxWords
+	if k > len(q) {
+		k = len(q)
+	}
+	var dst []*corpus.Ad
+	for _, n := range ix.refEnumSubsets(q, 0, fnvOffset64, 0, k, counters, nil) {
+		for i := range n.records {
+			rec := &n.records[i]
+			if len(rec.Words) > len(q) {
+				break
+			}
+			if counters != nil {
+				counters.PhrasesChecked++
+				counters.BytesScanned += int64(rec.Size())
+			}
+			if textnorm.IsSubset(rec.Words, q) {
+				dst = append(dst, rec)
+			}
+		}
+	}
+	slices.SortFunc(dst, byID)
+	if counters != nil {
+		counters.Queries++
+		counters.Matches += int64(len(dst))
+	}
+	return dst
+}
+
+// refEnumSubsets is the pre-change subset enumeration kept for
+// ReferenceBroadMatch: visited-node dedup by linear scan, O(probes ×
+// nodes visited) on long queries — exactly the satellite bug the
+// nodeSet-based enumSubsets fixes.
+func (ix *Index) refEnumSubsets(q []string, start int, h uint64, size, k int, counters *costmodel.Counters, visited []*node) []*node {
+	for i := start; i < len(q); i++ {
+		nh := hashExtend(h, size == 0, q[i])
+		if counters != nil {
+			counters.HashProbes++
+			counters.RandomAccesses++
+			counters.BytesScanned += int64(ix.opts.MemHash)
+		}
+		if n := ix.table.get(nh); n != nil {
+			dup := false
+			for _, vn := range visited {
+				if vn == n {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				if counters != nil {
+					counters.RandomAccesses++
+					counters.NodesVisited++
+				}
+				visited = append(visited, n)
+			}
+		}
+		if size+1 < k {
+			visited = ix.refEnumSubsets(q, i+1, nh, size+1, k, counters, visited)
+		}
+	}
+	return visited
 }
 
 // BroadMatchText is BroadMatch on raw query text.
@@ -105,7 +244,7 @@ func (ix *Index) ExactMatch(query string, counters *costmodel.Counters) []*corpu
 	if !ok {
 		return nil
 	}
-	n := ix.table[WordHash(ix.locWords[locKey])]
+	n := ix.table.get(WordHash(ix.locWords[locKey]))
 	if n == nil {
 		return nil
 	}
@@ -145,6 +284,7 @@ func (ix *Index) ExactMatch(query string, counters *costmodel.Counters) []*corpu
 // Section III-B describes.
 func (ix *Index) PhraseMatch(query string, counters *costmodel.Counters) []*corpus.Ad {
 	qTokens := textnorm.Tokenize(query)
+	var sc Scratch
 	q := ix.prepareQuery(textnorm.CanonicalSet(textnorm.FoldDuplicates(qTokens)))
 	if counters != nil {
 		counters.Queries++
@@ -153,7 +293,7 @@ func (ix *Index) PhraseMatch(query string, counters *costmodel.Counters) []*corp
 		return nil
 	}
 	var matches []*corpus.Ad
-	for _, n := range ix.appendCandidateNodes(q, counters, nil) {
+	for _, n := range ix.appendCandidateNodes(q, counters, &sc) {
 		for i := range n.records {
 			rec := &n.records[i]
 			if len(rec.Words) > len(q) {
@@ -221,24 +361,35 @@ func (ix *Index) prepareQueryInto(buf []string, queryWords []string) []string {
 	return buf
 }
 
-// appendCandidateNodes appends to visited each distinct data node
+// appendCandidateNodes appends to sc.visited each distinct data node
 // reachable from a non-empty subset of q up to MaxWords words (the bound
 // established by long-phrase re-mapping), probing H with an incrementally
-// extended hash so no subset slice is ever materialized. The linear dedup
-// scan over visited guards against WordHash collisions between enumerated
-// subsets and against re-mapped nodes reachable via multiple subset
-// locators; hit counts per query are small, so the scan beats a map. The
-// recursion carries no closure state, so enumeration allocates only when
-// visited outgrows its capacity.
-func (ix *Index) appendCandidateNodes(q []string, counters *costmodel.Counters, visited []*node) []*node {
+// extended hash so no subset slice is ever materialized. Deduplication —
+// needed because WordHash can collide between enumerated subsets and
+// because re-mapped nodes are reachable via multiple subset locators —
+// goes through sc.seen, an open-addressed set keyed by node id, so the
+// per-hit cost stays O(1) however many nodes a long query touches. The
+// recursion carries no closure state, so a warmed scratch enumerates
+// without allocating.
+func (ix *Index) appendCandidateNodes(q []string, counters *costmodel.Counters, sc *Scratch) []*node {
 	k := ix.opts.MaxWords
 	if k > len(q) {
 		k = len(q)
 	}
-	return ix.enumSubsets(q, 0, fnvOffset64, 0, k, counters, visited)
+	sc.seen.reset()
+	sc.visited = ix.enumSubsets(q, 0, fnvOffset64, 0, k, counters, sc.visited[:0], &sc.seen)
+	return sc.visited
 }
 
-func (ix *Index) enumSubsets(q []string, start int, h uint64, size, k int, counters *costmodel.Counters, visited []*node) []*node {
+// enumSubsets walks the subset DFS with locator-prefix pruning: each
+// considered subset is charged one hash probe (the two-level check of the
+// prefix filter and, on a filter hit, the node table counts as a single
+// probe of H under the Section V-A model), and a subset that is not a
+// prefix of any live locator terminates its whole subtree — no locator,
+// and therefore no node, can exist at or below it. Probe counts thus stay
+// bounded by LookupsForQueryLength but track the locators actually
+// indexed, which is what keeps long queries off the 2^n cliff.
+func (ix *Index) enumSubsets(q []string, start int, h uint64, size, k int, counters *costmodel.Counters, visited []*node, seen *nodeSet) []*node {
 	for i := start; i < len(q); i++ {
 		nh := hashExtend(h, size == 0, q[i])
 		if counters != nil {
@@ -246,15 +397,12 @@ func (ix *Index) enumSubsets(q []string, start int, h uint64, size, k int, count
 			counters.RandomAccesses++
 			counters.BytesScanned += int64(ix.opts.MemHash)
 		}
-		if n := ix.table[nh]; n != nil {
-			dup := false
-			for _, vn := range visited {
-				if vn == n {
-					dup = true
-					break
-				}
-			}
-			if !dup {
+		n, ok := ix.table.lookup(nh)
+		if !ok {
+			continue
+		}
+		if n != nil {
+			if seen.add(n.id) {
 				if counters != nil {
 					counters.RandomAccesses++
 					counters.NodesVisited++
@@ -263,27 +411,77 @@ func (ix *Index) enumSubsets(q []string, start int, h uint64, size, k int, count
 			}
 		}
 		if size+1 < k {
-			visited = ix.enumSubsets(q, i+1, nh, size+1, k, counters, visited)
+			visited = ix.enumSubsets(q, i+1, nh, size+1, k, counters, visited, seen)
 		}
 	}
 	return visited
 }
 
-// scanNode appends all records of n that broad-match q. Records are
-// ordered by word count, so the scan stops at the first record longer than
-// the query; per the Equation (2) cost model, every examined record is
-// charged its full size.
-func (ix *Index) scanNode(n *node, q []string, counters *costmodel.Counters, matches []*corpus.Ad) []*corpus.Ad {
-	for i := range n.records {
-		rec := &n.records[i]
-		if len(rec.Words) > len(q) {
-			break
+// scanNode appends all records of n that broad-match q, in three stages:
+//
+//  1. The word-count column bounds the scan to records no longer than the
+//     query (binary search; the node is sorted by word count).
+//  2. The signature column is swept branch-free — every record writes its
+//     index into the survivor buffer, and the write position advances only
+//     when sig &^ qsig == 0 — so the common reject path carries no
+//     mispredictable branch and reads 8 bytes per record.
+//  3. Survivors are verified on the packed word-hash column (integer
+//     merge) and finally by the exact string subset check, charged the
+//     full record size per Equation (2).
+//
+// Signature work is accounted separately from full phrase checks:
+// SignatureChecks/SignatureRejects count the sweep, PhrasesChecked counts
+// only verified survivors.
+func (ix *Index) scanNode(n *node, q []string, counters *costmodel.Counters, sc *Scratch, matches []*corpus.Ad) []*corpus.Ad {
+	qlen := uint32(len(q))
+	wcs := n.wcs
+	limit := len(wcs)
+	if limit > 0 && wcs[limit-1] > qlen {
+		limit = sort.Search(len(wcs), func(i int) bool { return wcs[i] > qlen })
+	}
+	if limit == 0 {
+		return matches
+	}
+
+	if cap(sc.surv) < limit {
+		sc.surv = make([]int32, limit)
+	}
+	surv := sc.surv[:limit]
+	qsig := sc.qsig
+	k := 0
+	for i, sig := range n.sigs[:limit] {
+		surv[k] = int32(i)
+		if sig&^qsig == 0 {
+			k++
 		}
+	}
+	if counters != nil {
+		counters.SignatureChecks += int64(limit)
+		counters.SignatureRejects += int64(limit - k)
+		counters.BytesScanned += int64(limit-k) * sigColumnBytes
+	}
+
+	// A subset verdict depends only on the record's word set, and records
+	// of one set are adjacent (sameKey runs), so each run is verified once
+	// and the verdict reused for the rest of the run. The reuse only
+	// applies across consecutive survivor indices: records of one set
+	// share a signature, so a run is either swept out or survives whole.
+	prev, prevOK := -2, false
+	for _, si := range surv[:k] {
+		i := int(si)
+		rec := &n.records[i]
 		if counters != nil {
 			counters.PhrasesChecked++
 			counters.BytesScanned += int64(rec.Size())
 		}
-		if textnorm.IsSubset(rec.Words, q) {
+		var ok bool
+		if i == prev+1 && n.sameKey[i] {
+			ok = prevOK
+		} else {
+			ok = hashSubset(n.recHashes(i), sc.qhashes) && textnorm.IsSubset(rec.Words, q)
+		}
+		prev, prevOK = i, ok
+		if ok {
 			matches = append(matches, rec)
 		}
 	}

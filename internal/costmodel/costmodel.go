@@ -106,6 +106,16 @@ type Counters struct {
 	PhrasesChecked int64 // candidate phrases verified against the query
 	Matches        int64 // results returned
 	Queries        int64 // queries processed
+
+	// SignatureChecks counts records examined by the columnar word-set
+	// signature sweep; SignatureRejects counts those it eliminated before
+	// any full phrase verification. A signature check is charged its
+	// column bytes through BytesScanned, distinctly from the full record
+	// size a surviving PhrasesChecked verification costs, so the cost
+	// model sees exactly how much of the Equation (2) scan volume the
+	// prefilter removed.
+	SignatureChecks  int64
+	SignatureRejects int64
 }
 
 // Add accumulates o into c.
@@ -118,6 +128,8 @@ func (c *Counters) Add(o Counters) {
 	c.PhrasesChecked += o.PhrasesChecked
 	c.Matches += o.Matches
 	c.Queries += o.Queries
+	c.SignatureChecks += o.SignatureChecks
+	c.SignatureRejects += o.SignatureRejects
 }
 
 // Reset zeroes all counters.
@@ -131,7 +143,7 @@ func (c *Counters) Cost(m Model) float64 {
 
 // String renders the counters compactly for logs and experiment output.
 func (c *Counters) String() string {
-	return fmt.Sprintf("queries=%d rand=%d bytes=%d probes=%d nodes=%d postings=%d phrases=%d matches=%d",
+	return fmt.Sprintf("queries=%d rand=%d bytes=%d probes=%d nodes=%d postings=%d sigchecks=%d sigrejects=%d phrases=%d matches=%d",
 		c.Queries, c.RandomAccesses, c.BytesScanned, c.HashProbes, c.NodesVisited,
-		c.PostingsRead, c.PhrasesChecked, c.Matches)
+		c.PostingsRead, c.SignatureChecks, c.SignatureRejects, c.PhrasesChecked, c.Matches)
 }

@@ -23,6 +23,10 @@ type snapshot struct {
 	// delta holds ads inserted since base was built, scanned linearly at
 	// query time. Bounded by Options.MaxDeltaAds.
 	delta []corpus.Ad
+	// deltaSigs[i] is the word-set signature of delta[i] (computed once at
+	// insert), so the overlay scan gets the same branch-free signature
+	// reject as the columnar base nodes.
+	deltaSigs []uint64
 	// tombs suppresses base records deleted since base was built, keyed by
 	// (ID, canonical word-set key) with the number of deletions per key
 	// (duplicate records are deleted one at a time, like core.Delete).
@@ -128,10 +132,22 @@ func (s *snapshot) appendBroadMatch(dst []*corpus.Ad, queryWords []string, count
 		n := len(dst)
 		// The delta is scanned with the raw canonical query words: the
 		// base prepares queries against its own vocabulary, which may lack
-		// delta-only words.
+		// delta-only words. The signature column computed at insert time
+		// rejects most overlay ads on one 64-bit compare, mirroring the
+		// columnar base scan (and its accounting).
+		qsig := core.SetSignature(queryWords)
 		for i := range s.delta {
+			if s.deltaSigs[i]&^qsig != 0 {
+				if counters != nil {
+					counters.SignatureChecks++
+					counters.SignatureRejects++
+					counters.BytesScanned += 8
+				}
+				continue
+			}
 			rec := &s.delta[i]
 			if counters != nil {
+				counters.SignatureChecks++
 				counters.PhrasesChecked++
 				counters.BytesScanned += int64(rec.Size())
 			}
@@ -236,6 +252,16 @@ type queryScratch struct {
 	words   []string
 	core    core.Scratch
 	matches []*corpus.Ad
+
+	// Batch-only buffers: one shared token arena for every query in a
+	// block (batchOff[i]..batchOff[i+1] delimits query i's canonical
+	// word set), the per-query set hashes, and the bucket-sorted
+	// processing order.
+	batchWords []string
+	batchOff   []int32
+	batchHash  []uint64
+	batchOrder []int32
+	batchSpan  []int32
 }
 
 var scratchPool = sync.Pool{New: func() any { return new(queryScratch) }}
@@ -253,6 +279,12 @@ func putScratch(sc *queryScratch) {
 	sc.core.Reset()
 	clear(sc.matches[:cap(sc.matches)])
 	sc.matches = sc.matches[:0]
+	clear(sc.batchWords[:cap(sc.batchWords)])
+	sc.batchWords = sc.batchWords[:0]
+	sc.batchOff = sc.batchOff[:0]
+	sc.batchHash = sc.batchHash[:0]
+	sc.batchOrder = sc.batchOrder[:0]
+	sc.batchSpan = sc.batchSpan[:0]
 	scratchPool.Put(sc)
 }
 
@@ -402,15 +434,110 @@ func (ix *Index) BroadMatchAppend(dst []Ad, query string) []Ad {
 }
 
 // BroadMatchBatch evaluates all queries against this view's snapshot and
-// returns per-query results in order. Batching amortizes the scratch
-// acquisition across the batch.
+// returns per-query results in order. Beyond amortizing the scratch
+// acquisition, the batch sorts its probes by bucket: queries are
+// processed in canonical word-set order, so queries sharing leading words
+// re-probe the same hash-table region (subset enumeration extends the
+// same incremental hashes) while it is still cache-warm, and duplicate
+// word sets — common in production streams — are answered once and
+// copied, skipping the index walk entirely.
 func (v View) BroadMatchBatch(queries []string) [][]Ad {
 	out := make([][]Ad, len(queries))
 	sc := getScratch()
-	for i, q := range queries {
-		sc.words = textnorm.AppendWordSet(sc.words[:0], q)
-		sc.matches = v.s.appendBroadMatch(sc.matches[:0], sc.words, nil, &sc.core)
-		out[i] = copyMatches(sc.matches)
+	// Tokenize every query into one pooled arena; query i's canonical
+	// word set is batchWords[batchOff[i]:batchOff[i+1]]. One growing
+	// buffer instead of a []string per query keeps the batch entry point
+	// allocation-free up to the result copies.
+	sc.batchOff = append(sc.batchOff[:0], 0)
+	sc.batchHash = sc.batchHash[:0]
+	for _, q := range queries {
+		mark := len(sc.batchWords)
+		sc.batchWords = textnorm.AppendWordSet(sc.batchWords, q)
+		sc.batchOff = append(sc.batchOff, int32(len(sc.batchWords)))
+		sc.batchHash = append(sc.batchHash, core.WordHash(sc.batchWords[mark:]))
+	}
+	set := func(i int32) []string {
+		return sc.batchWords[sc.batchOff[i]:sc.batchOff[i+1]]
+	}
+	sc.batchOrder = sc.batchOrder[:0]
+	for i := range queries {
+		sc.batchOrder = append(sc.batchOrder, int32(i))
+	}
+	// Order queries by word-set hash — i.e. by the hash-table bucket their
+	// full-set probe lands in. One integer compare per step; equal sets
+	// sort adjacent (same hash), so duplicates are found by the run scan
+	// below, and near-identical probe sequences stay cache-warm.
+	slices.SortFunc(sc.batchOrder, func(a, b int32) int {
+		ha, hb := sc.batchHash[a], sc.batchHash[b]
+		switch {
+		case ha < hb:
+			return -1
+		case ha > hb:
+			return 1
+		}
+		return int(a) - int(b) // deterministic order among duplicate sets
+	})
+	// Pass 1: resolve each distinct word set once, accumulating all match
+	// pointers in one buffer; a duplicate set reuses the span its twin
+	// resolved (duplicates are adjacent in the order: equal sets hash
+	// equally, and index breaks ties).
+	if cap(sc.batchSpan) < 2*len(queries) {
+		sc.batchSpan = make([]int32, 2*len(queries))
+	}
+	span := sc.batchSpan[:2*len(queries)]
+	sc.matches = sc.matches[:0]
+	for k, idx := range sc.batchOrder {
+		if k > 0 {
+			if prev := sc.batchOrder[k-1]; textnorm.SetEqual(set(idx), set(prev)) {
+				span[2*idx], span[2*idx+1] = span[2*prev], span[2*prev+1]
+				continue
+			}
+		}
+		start := int32(len(sc.matches))
+		sc.matches = v.s.appendBroadMatch(sc.matches, set(idx), nil, &sc.core)
+		span[2*idx], span[2*idx+1] = start, int32(len(sc.matches))
+	}
+
+	// Pass 2: copy out into one shared backing and string arena for the
+	// whole block (the caller owns the block as a unit), instead of a
+	// result slice and arena per query. Both are sized exactly up front:
+	// growth would move earlier views to a stale array. A duplicate set
+	// re-copies its twin's finished ads, so its Words share the twin's
+	// arena segments — the same aliasing a per-query clone produced.
+	totalAds, needStrings := 0, 0
+	for k, idx := range sc.batchOrder {
+		totalAds += int(span[2*idx+1] - span[2*idx])
+		if k > 0 && textnorm.SetEqual(set(idx), set(sc.batchOrder[k-1])) {
+			continue // duplicate: re-copies finished ads, no arena use
+		}
+		for _, m := range sc.matches[span[2*idx]:span[2*idx+1]] {
+			needStrings += len(m.Words) + len(m.Meta.Exclusions)
+		}
+	}
+	backing := make([]Ad, 0, totalAds)
+	arena := make([]string, 0, needStrings)
+	for k, idx := range sc.batchOrder {
+		lo, hi := span[2*idx], span[2*idx+1]
+		if lo == hi {
+			continue // historical API: no matches is nil, not empty
+		}
+		if k > 0 {
+			if prev := sc.batchOrder[k-1]; out[prev] != nil && textnorm.SetEqual(set(idx), set(prev)) {
+				mark := len(backing)
+				backing = append(backing, out[prev]...)
+				out[idx] = backing[mark:len(backing):len(backing)]
+				continue
+			}
+		}
+		mark := len(backing)
+		for _, m := range sc.matches[lo:hi] {
+			ad := *m
+			arena, ad.Words = appendArena(arena, m.Words)
+			arena, ad.Meta.Exclusions = appendArena(arena, m.Meta.Exclusions)
+			ad.Meta.RefreshExclusionSets()
+			backing = append(backing, ad)
+		}
+		out[idx] = backing[mark:len(backing):len(backing)]
 	}
 	putScratch(sc)
 	return out
