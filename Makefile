@@ -13,10 +13,11 @@
 
 GO ?= go
 
-.PHONY: check vet build test race recovery-smoke simsmoke migratesmoke soak \
-	cover fuzzsmoke benchsmoke bench bench-reshard clean
+.PHONY: check vet build test race recovery-smoke simsmoke migratesmoke \
+	overloadsmoke soak cover fuzzsmoke benchsmoke bench bench-reshard \
+	bench-overload clean
 
-check: vet build test race recovery-smoke simsmoke migratesmoke fuzzsmoke benchsmoke
+check: vet build test race recovery-smoke simsmoke migratesmoke overloadsmoke fuzzsmoke benchsmoke
 
 vet:
 	$(GO) vet ./...
@@ -55,6 +56,19 @@ simsmoke:
 migratesmoke:
 	$(GO) test -race -run 'TestSimElastic' -v ./internal/sim
 
+# Overload-armor regression gate: the sim overload scenario (every
+# query re-run under a tight cost budget and held to the truncation
+# contract against the oracle), panic containment (a poisoned backend
+# answers a typed error frame and keeps serving), the budget/quarantine
+# HTTP path, and the adversarial-flood acceptance test, under the race
+# detector.
+overloadsmoke:
+	$(GO) test -race -run 'TestSimOverloadBudget' -v ./internal/sim
+	$(GO) test -race -run 'TestPanicContainment|TestDeadline|TestBudgetBackendFlagsOverWire' \
+		./internal/multiserver
+	$(GO) test -race -run 'TestSearchBudgetTruncation|TestSearchPanicContainment|TestLimiterShed|TestQuarantine|TestOverloadFlood' \
+		-v ./internal/server
+
 # Longer randomized soak: more ops per schedule and a block of seeds
 # that rotates daily (seedbase = days since epoch), so successive days
 # explore fresh schedules while any day's failure stays reproducible
@@ -92,6 +106,7 @@ BENCHGATE_ALLOW = -allow-allocs snapshot=1 -allow-allocs snapshot-append=1
 benchsmoke:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .
 	$(GO) run ./cmd/benchgate -old BENCH_PR3.json -new BENCH_PR8.json $(BENCHGATE_ALLOW)
+	$(GO) run ./cmd/benchgate -old BENCH_PR9_BASE.json -new BENCH_PR9.json -max-qps-drop 0.03
 
 # Reproducible before/after numbers for the broad-match read path;
 # writes BENCH_PR8.json (quoted in README "Performance"), then gates the
@@ -109,6 +124,14 @@ bench:
 bench-reshard:
 	$(GO) run ./cmd/adbench -experiment reshard -ads 20000 -queries 5000 \
 		-stream 20000 -reshard-out BENCH_PR7.json
+
+# Overload armor before/after: budget-off vs budget-on serial QPS on
+# the same streams (BENCH_PR9_BASE.json / BENCH_PR9.json) plus the
+# adversarial flood through the armored server, then the ≤3%
+# steady-state overhead gate over the fresh recording.
+bench-overload:
+	$(GO) run ./cmd/adbench -experiment overload
+	$(GO) run ./cmd/benchgate -old BENCH_PR9_BASE.json -new BENCH_PR9.json -max-qps-drop 0.03
 
 clean:
 	$(GO) clean ./...

@@ -23,6 +23,8 @@
 //	ablation  design-choice sweeps (max_words, withdrawal, front coding)
 //	perf      locked AoS baseline vs columnar snapshot read path (writes BENCH_PR8.json)
 //	reshard   QPS/p99 before/during/after a live shard split (writes BENCH_PR7.json)
+//	overload  budget overhead + adversarial flood through the armored
+//	          server (writes BENCH_PR9.json + BENCH_PR9_BASE.json)
 package main
 
 import (
@@ -73,10 +75,11 @@ func main() {
 		"maintenance": runMaintenance,
 		"perf":        runPerf,
 		"reshard":     runReshard,
+		"overload":    runOverload,
 	}
 	order := []string{"fig1", "fig2", "fig3", "fig7", "tput", "keysize",
 		"fig8", "fig9", "fig10", "counters", "compress", "ablation",
-		"maintenance", "perf", "reshard"}
+		"maintenance", "perf", "reshard", "overload"}
 
 	switch {
 	case *experiment == "all":

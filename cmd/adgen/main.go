@@ -36,6 +36,12 @@ func main() {
 		"probability a workload query substitutes a synonym-class member")
 	synonymsOut := flag.String("synonyms-out", "",
 		"write the derived synonym-class TSV here (load in adserve with -synonyms)")
+	advQueries := flag.Int("adversarial-queries", 0,
+		"number of adversarial (maximally expensive) queries to generate (0 = none)")
+	advWords := flag.Int("adversarial-words", 0,
+		"words per adversarial query (0 = default 12, near the MaxQueryWords cutoff)")
+	advOut := flag.String("adversarial-out", "-",
+		"adversarial workload output file (- = stdout)")
 	stats := flag.Bool("stats", false, "print distribution statistics to stderr")
 	flag.Parse()
 
@@ -74,6 +80,16 @@ func main() {
 		})
 		if err := writeTo(*queriesOut, func(f *os.File) error { return wl.Write(f) }); err != nil {
 			log.Fatalf("writing workload: %v", err)
+		}
+	}
+	if *advQueries > 0 {
+		adv := workload.GenerateAdversarial(c, workload.AdvOptions{
+			NumQueries: *advQueries,
+			QueryWords: *advWords,
+			Seed:       *seed + 2,
+		})
+		if err := writeTo(*advOut, func(f *os.File) error { return adv.Write(f) }); err != nil {
+			log.Fatalf("writing adversarial workload: %v", err)
 		}
 	}
 }

@@ -78,6 +78,15 @@ func main() {
 	maxObserved := flag.Int("max-observed", adindex.DefaultMaxObservedQueries,
 		"cap on distinct observed queries kept for layout optimization (negative = unbounded)")
 
+	// Overload armor: per-query cost budgets, adaptive load shedding, and
+	// the poison-query quarantine (see DESIGN.md §5.9).
+	queryBudget := flag.Int64("query-budget", 0,
+		"max index cost units one broad-match query may spend; an exhausted query answers a flagged, verified partial result (0 = unlimited)")
+	shedTargetDelay := flag.Duration("shed-target-delay", 0,
+		"adaptive (CoDel-style) load shedding: reject new arrivals with 503/Retry-After while the admission queue's per-window minimum delay exceeds this (0 disables)")
+	quarantineTTL := flag.Duration("quarantine-ttl", 0,
+		"fast-reject queries that panic or repeatedly blow their budget for this long (0 disables the quarantine)")
+
 	// Approximate broad match (local mode): /search?rewrite=on expands the
 	// query with spelling corrections (and synonyms when -synonyms is set)
 	// and tags each result with how it was reached.
@@ -149,6 +158,9 @@ func main() {
 		MaxInflight:      *maxInflight,
 		RequestTimeout:   *requestTimeout,
 		BackendLossGrace: *backendGrace,
+		QueryBudget:      *queryBudget,
+		ShedTargetDelay:  *shedTargetDelay,
+		QuarantineTTL:    *quarantineTTL,
 	}
 
 	var rewriteOpts *adindex.RewriteOptions
@@ -225,6 +237,7 @@ func main() {
 			tcpAd:         *tcpAd,
 			maxWords:      *maxWords,
 			maxObserved:   *maxObserved,
+			queryBudget:   *queryBudget,
 			rewriteOpts:   rewriteOpts,
 		})
 		return
@@ -291,7 +304,7 @@ func main() {
 			st.NumAds, st.NumNodes, st.DistinctSets)
 
 		if *tcpIndex != "" {
-			ts, err := multiserver.NewIndexServer(*tcpIndex, multiserver.ServeOpts{}, indexBackend{ix})
+			ts, err := multiserver.NewIndexServer(*tcpIndex, multiserver.ServeOpts{}, indexBackend{ix, *queryBudget})
 			if err != nil {
 				log.Fatalf("tcp index server: %v", err)
 			}
@@ -323,6 +336,7 @@ type durableFlags struct {
 	corpusPath, mappingPath string
 	addr, tcpIndex, tcpAd   string
 	maxWords, maxObserved   int
+	queryBudget             int64
 	rewriteOpts             *adindex.RewriteOptions
 }
 
@@ -443,7 +457,7 @@ func runDurable(cfg server.Config, df durableFlags) {
 	srv.InstallIndex(ix, report)
 
 	if df.tcpIndex != "" {
-		ts, err := multiserver.NewIndexServer(df.tcpIndex, multiserver.ServeOpts{}, indexBackend{ix})
+		ts, err := multiserver.NewIndexServer(df.tcpIndex, multiserver.ServeOpts{}, indexBackend{ix, df.queryBudget})
 		if err != nil {
 			log.Fatalf("tcp index server: %v", err)
 		}
@@ -470,7 +484,10 @@ func runDurable(cfg server.Config, df durableFlags) {
 // indexBackend adapts the public adindex.Index to the multiserver
 // Backend interface (IDs only on the wire; metadata lives on the ad
 // server, as in the paper's Section VII-B split).
-type indexBackend struct{ ix *adindex.Index }
+type indexBackend struct {
+	ix     *adindex.Index
+	budget int64 // -query-budget; 0 = unlimited cost
+}
 
 func (b indexBackend) MatchIDs(query string) []uint64 {
 	matches := b.ix.BroadMatch(query)
@@ -479,6 +496,29 @@ func (b indexBackend) MatchIDs(query string) []uint64 {
 		ids[i] = matches[i].ID
 	}
 	return ids
+}
+
+// MatchIDsBudget implements multiserver.BudgetBackend: the wire
+// deadline and the local -query-budget bound the enumeration, and
+// truncation/cutoff ride back to the front-end as ID-frame flags.
+func (b indexBackend) MatchIDsBudget(query string, deadline time.Time, has bool) ([]uint64, byte) {
+	qb := adindex.QueryBudget{MaxCost: b.budget}
+	if has {
+		qb.Deadline = deadline
+	}
+	res := b.ix.BroadMatchBudget(query, qb)
+	ids := make([]uint64, len(res.Ads))
+	for i := range res.Ads {
+		ids[i] = res.Ads[i].ID
+	}
+	var flags byte
+	if res.Truncated {
+		flags |= multiserver.IDFlagTruncated
+	}
+	if res.CutoffApplied {
+		flags |= multiserver.IDFlagCutoff
+	}
+	return ids, flags
 }
 
 // parseShards splits "a,b;c,d" into [[a b] [c d]]: ';' separates shards,

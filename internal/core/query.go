@@ -116,11 +116,24 @@ func (ix *Index) BroadMatch(queryWords []string, counters *costmodel.Counters) [
 // With a warmed Scratch and a reused dst the whole query path performs no
 // allocations.
 func (ix *Index) AppendBroadMatch(dst []*corpus.Ad, queryWords []string, counters *costmodel.Counters, sc *Scratch) []*corpus.Ad {
+	return ix.AppendBroadMatchBudget(dst, queryWords, counters, sc, nil)
+}
+
+// AppendBroadMatchBudget is AppendBroadMatch under a cost budget. A nil
+// budget matches without bound. With a budget, enumeration and node
+// scanning charge it as they go and stop at node granularity once it is
+// exhausted; the appended segment is then a (still ID-ordered, fully
+// verified) subset of the complete match set, and the budget's
+// Exhausted/Spent/CutoffApplied report what happened.
+func (ix *Index) AppendBroadMatchBudget(dst []*corpus.Ad, queryWords []string, counters *costmodel.Counters, sc *Scratch, b *Budget) []*corpus.Ad {
 	var local Scratch
 	if sc == nil {
 		sc = &local
 	}
-	q := ix.prepareQueryInto(sc.q[:0], queryWords)
+	q, cut := ix.prepareQueryCut(sc.q[:0], queryWords)
+	if cut && b != nil {
+		b.cutoff = true
+	}
 	sc.q = q
 	if len(q) == 0 {
 		if counters != nil {
@@ -128,12 +141,15 @@ func (ix *Index) AppendBroadMatch(dst []*corpus.Ad, queryWords []string, counter
 		}
 		return dst
 	}
-	visited := ix.appendCandidateNodes(q, counters, sc)
+	visited := ix.appendCandidateNodes(q, counters, sc, b)
 	mark := len(dst)
 	if len(visited) > 0 {
 		sc.prepareSignature(q)
 		for _, n := range visited {
-			dst = ix.scanNode(n, q, counters, sc, dst)
+			if b != nil && b.exhausted {
+				break
+			}
+			dst = ix.scanNode(n, q, counters, sc, dst, b)
 		}
 	}
 	sortMatchesByID(dst[mark:])
@@ -293,7 +309,7 @@ func (ix *Index) PhraseMatch(query string, counters *costmodel.Counters) []*corp
 		return nil
 	}
 	var matches []*corpus.Ad
-	for _, n := range ix.appendCandidateNodes(q, counters, &sc) {
+	for _, n := range ix.appendCandidateNodes(q, counters, &sc, nil) {
 		for i := range n.records {
 			rec := &n.records[i]
 			if len(rec.Words) > len(q) {
@@ -342,6 +358,14 @@ func (ix *Index) prepareQuery(queryWords []string) []string {
 // are cut to their MaxQueryWords rarest indexed words (the Section IV-B
 // heuristic cutoff, which may lose matches on extreme queries).
 func (ix *Index) prepareQueryInto(buf []string, queryWords []string) []string {
+	buf, _ = ix.prepareQueryCut(buf, queryWords)
+	return buf
+}
+
+// prepareQueryCut is prepareQueryInto's underlying form; the second
+// return reports whether the MaxQueryWords cutoff dropped words, so
+// budgeted callers can surface the loss instead of hiding it.
+func (ix *Index) prepareQueryCut(buf []string, queryWords []string) ([]string, bool) {
 	for _, w := range queryWords {
 		if ix.df[w] > 0 {
 			buf = append(buf, w)
@@ -357,8 +381,9 @@ func (ix *Index) prepareQueryInto(buf []string, queryWords []string) []string {
 		})
 		cut := textnorm.CanonicalSet(buf[:ix.opts.MaxQueryWords])
 		buf = append(buf[:0], cut...)
+		return buf, true
 	}
-	return buf
+	return buf, false
 }
 
 // appendCandidateNodes appends to sc.visited each distinct data node
@@ -371,13 +396,13 @@ func (ix *Index) prepareQueryInto(buf []string, queryWords []string) []string {
 // per-hit cost stays O(1) however many nodes a long query touches. The
 // recursion carries no closure state, so a warmed scratch enumerates
 // without allocating.
-func (ix *Index) appendCandidateNodes(q []string, counters *costmodel.Counters, sc *Scratch) []*node {
+func (ix *Index) appendCandidateNodes(q []string, counters *costmodel.Counters, sc *Scratch, b *Budget) []*node {
 	k := ix.opts.MaxWords
 	if k > len(q) {
 		k = len(q)
 	}
 	sc.seen.reset()
-	sc.visited = ix.enumSubsets(q, 0, fnvOffset64, 0, k, counters, sc.visited[:0], &sc.seen)
+	sc.visited = ix.enumSubsets(q, 0, fnvOffset64, 0, k, counters, sc.visited[:0], &sc.seen, b)
 	return sc.visited
 }
 
@@ -389,8 +414,15 @@ func (ix *Index) appendCandidateNodes(q []string, counters *costmodel.Counters, 
 // and therefore no node, can exist at or below it. Probe counts thus stay
 // bounded by LookupsForQueryLength but track the locators actually
 // indexed, which is what keeps long queries off the 2^n cliff.
-func (ix *Index) enumSubsets(q []string, start int, h uint64, size, k int, counters *costmodel.Counters, visited []*node, seen *nodeSet) []*node {
+//
+// A non-nil budget is charged one unit per considered subset; once it
+// is exhausted the walk unwinds immediately, leaving visited holding
+// the nodes reached so far.
+func (ix *Index) enumSubsets(q []string, start int, h uint64, size, k int, counters *costmodel.Counters, visited []*node, seen *nodeSet, b *Budget) []*node {
 	for i := start; i < len(q); i++ {
+		if b != nil && !b.Charge(1) {
+			return visited
+		}
 		nh := hashExtend(h, size == 0, q[i])
 		if counters != nil {
 			counters.HashProbes++
@@ -411,7 +443,7 @@ func (ix *Index) enumSubsets(q []string, start int, h uint64, size, k int, count
 			}
 		}
 		if size+1 < k {
-			visited = ix.enumSubsets(q, i+1, nh, size+1, k, counters, visited, seen)
+			visited = ix.enumSubsets(q, i+1, nh, size+1, k, counters, visited, seen, b)
 		}
 	}
 	return visited
@@ -432,7 +464,11 @@ func (ix *Index) enumSubsets(q []string, start int, h uint64, size, k int, count
 // Signature work is accounted separately from full phrase checks:
 // SignatureChecks/SignatureRejects count the sweep, PhrasesChecked counts
 // only verified survivors.
-func (ix *Index) scanNode(n *node, q []string, counters *costmodel.Counters, sc *Scratch, matches []*corpus.Ad) []*corpus.Ad {
+// A non-nil budget is charged the scan width up front and the node is
+// then completed whole (node granularity: a node's records are never
+// split, so every appended match is fully verified); the caller checks
+// exhaustion between nodes.
+func (ix *Index) scanNode(n *node, q []string, counters *costmodel.Counters, sc *Scratch, matches []*corpus.Ad, b *Budget) []*corpus.Ad {
 	qlen := uint32(len(q))
 	wcs := n.wcs
 	limit := len(wcs)
@@ -441,6 +477,9 @@ func (ix *Index) scanNode(n *node, q []string, counters *costmodel.Counters, sc 
 	}
 	if limit == 0 {
 		return matches
+	}
+	if b != nil {
+		b.Charge(int64(limit))
 	}
 
 	if cap(sc.surv) < limit {

@@ -77,12 +77,13 @@ func (o ConnOpts) withDefaults() ConnOpts {
 var ErrBreakerOpen = errors.New("multiserver: circuit breaker open")
 
 // isAppLevel reports whether err is an application-level response from a
-// live backend (error frame or stale-epoch rejection) rather than a
-// transport failure: no retry, no reconnect, no breaker penalty.
+// live backend (error frame, stale-epoch rejection, or deadline-expired
+// answer) rather than a transport failure: no retry, no reconnect, no
+// breaker penalty.
 func isAppLevel(err error) bool {
 	var se *ServerError
 	var stale *StaleEpochError
-	return errors.As(err, &se) || errors.As(err, &stale)
+	return errors.As(err, &se) || errors.As(err, &stale) || errors.Is(err, ErrDeadlineExpired)
 }
 
 // ConnStats counts a connection's fault-handling activity.
@@ -174,6 +175,16 @@ func (c *Conn) Close() {
 // retrying and without tripping the breaker: the backend is alive, the
 // request is bad.
 func (c *Conn) Exchange(req []byte) ([]byte, error) {
+	return c.ExchangeDeadline(req, time.Time{})
+}
+
+// ExchangeDeadline is Exchange carrying a request deadline on the wire:
+// every attempt (including retries after transport failures) re-tags
+// the request with the budget remaining *now*, so a failover or hedged
+// attempt inherits only what the earlier attempts left, and an attempt
+// whose budget is already gone fails fast with ErrDeadlineExpired
+// without touching the wire. A zero deadline sends the request untagged.
+func (c *Conn) ExchangeDeadline(req []byte, deadline time.Time) ([]byte, error) {
 	if !c.breaker.Allow() {
 		c.fastFails.Add(1)
 		return nil, fmt.Errorf("%w (%s)", ErrBreakerOpen, c.addr)
@@ -181,14 +192,23 @@ func (c *Conn) Exchange(req []byte) ([]byte, error) {
 	c.exchanges.Add(1)
 	var lastErr error
 	for attempt := 0; ; attempt++ {
-		resp, err := c.exchangeOnce(req)
+		wire := req
+		if !deadline.IsZero() {
+			remaining := time.Until(deadline)
+			if remaining <= 0 {
+				return nil, ErrDeadlineExpired
+			}
+			wire = EncodeDeadlineRequest(remaining, req)
+		}
+		resp, err := c.exchangeOnce(wire, deadline)
 		if err == nil {
 			c.breaker.Success()
 			return resp, nil
 		}
 		if isAppLevel(err) {
-			// The backend answered (an error frame or a typed stale-epoch
-			// rejection): it is alive, so no retry and no breaker failure.
+			// The backend answered (an error frame, a typed stale-epoch
+			// rejection, or a deadline-expired answer): it is alive, so no
+			// retry and no breaker failure.
 			c.breaker.Success()
 			return nil, err
 		}
@@ -216,8 +236,21 @@ func (c *Conn) Exchange(req []byte) ([]byte, error) {
 // within the cooldown while its peers died. Success and failure feed
 // the breaker exactly like Exchange, so a successful probe closes it.
 func (c *Conn) Probe(req []byte) ([]byte, error) {
+	return c.ProbeDeadline(req, time.Time{})
+}
+
+// ProbeDeadline is Probe carrying a request deadline on the wire; a
+// zero deadline probes untagged.
+func (c *Conn) ProbeDeadline(req []byte, deadline time.Time) ([]byte, error) {
 	c.exchanges.Add(1)
-	resp, err := c.exchangeOnce(req)
+	if !deadline.IsZero() {
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			return nil, ErrDeadlineExpired
+		}
+		req = EncodeDeadlineRequest(remaining, req)
+	}
+	resp, err := c.exchangeOnce(req, deadline)
 	if err == nil {
 		c.breaker.Success()
 		return resp, nil
@@ -244,10 +277,14 @@ func (c *Conn) backoff(attempt int) time.Duration {
 	return d + j
 }
 
-// exchangeOnce runs a single framed round trip under the deadline,
-// dialing first if there is no live connection.
-func (c *Conn) exchangeOnce(req []byte) ([]byte, error) {
+// exchangeOnce runs a single framed round trip under the per-exchange
+// timeout (clamped to the request deadline when one is set), dialing
+// first if there is no live connection.
+func (c *Conn) exchangeOnce(req []byte, reqDeadline time.Time) ([]byte, error) {
 	deadline := time.Now().Add(c.opts.Timeout)
+	if !reqDeadline.IsZero() && reqDeadline.Before(deadline) {
+		deadline = reqDeadline
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.c == nil {

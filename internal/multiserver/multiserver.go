@@ -74,7 +74,17 @@ const (
 	statusOK         = 0x00
 	statusError      = 0x01
 	statusStaleEpoch = 0x02
+	statusExpired    = 0x03
 )
+
+// ErrDeadlineExpired is the typed response for a request whose wire
+// deadline had already passed when the server picked it up (or that a
+// client refused to transmit because no budget remained). Like
+// ServerError it is application-level: the backend is alive and the
+// stream stays in sync, so clients do not retry it — the front end has
+// already abandoned the query — and do not count it against the
+// circuit breaker.
+var ErrDeadlineExpired = errors.New("multiserver: request deadline expired")
 
 // ServerError is an application-level error reported by a backend in an
 // error frame. The backend is alive and the stream remains in sync, so
@@ -138,6 +148,43 @@ func DecodeEpochRequest(req []byte) (epoch uint64, body []byte, tagged bool, err
 	return binary.BigEndian.Uint64(req[1:9]), req[9:], true, nil
 }
 
+// deadlineReqMagic prefixes deadline-tagged requests: magic byte,
+// 8-byte big-endian remaining budget in microseconds, body. The budget
+// is relative (time remaining), not an absolute timestamp, so it
+// survives clock skew between front end and backend. Deadline tagging
+// composes outermost: the body may itself be an epoch-tagged request.
+// Plain query texts are normalized words and never start with this
+// byte, so servers serve untagged legacy requests unchanged.
+const deadlineReqMagic = 0xDB
+
+// EncodeDeadlineRequest tags a request body with the remaining time
+// budget. Non-positive remaining still encodes (as zero), letting a
+// server answer statusExpired rather than guess.
+func EncodeDeadlineRequest(remaining time.Duration, body []byte) []byte {
+	us := remaining.Microseconds()
+	if us < 0 {
+		us = 0
+	}
+	buf := make([]byte, 9+len(body))
+	buf[0] = deadlineReqMagic
+	binary.BigEndian.PutUint64(buf[1:9], uint64(us))
+	copy(buf[9:], body)
+	return buf
+}
+
+// DecodeDeadlineRequest splits a deadline-tagged request into the
+// remaining budget and body, reporting tagged=false for untagged
+// requests.
+func DecodeDeadlineRequest(req []byte) (remaining time.Duration, body []byte, tagged bool, err error) {
+	if len(req) == 0 || req[0] != deadlineReqMagic {
+		return 0, req, false, nil
+	}
+	if len(req) < 9 {
+		return 0, nil, true, fmt.Errorf("multiserver: deadline request of %d bytes shorter than its 9-byte header", len(req))
+	}
+	return time.Duration(binary.BigEndian.Uint64(req[1:9])) * time.Microsecond, req[9:], true, nil
+}
+
 func writeFrame(w io.Writer, payload []byte) error {
 	var hdr [4]byte
 	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
@@ -176,6 +223,9 @@ func writeResponse(w io.Writer, body []byte, herr error) error {
 		binary.BigEndian.PutUint64(buf[9:17], stale.ServerEpoch)
 		return writeFrame(w, buf)
 	}
+	if errors.Is(herr, ErrDeadlineExpired) {
+		return writeFrame(w, []byte{statusExpired})
+	}
 	if herr != nil {
 		msg := herr.Error()
 		buf := make([]byte, 1+len(msg))
@@ -212,6 +262,8 @@ func readResponse(r io.Reader) ([]byte, error) {
 			ClientEpoch: binary.BigEndian.Uint64(payload[1:9]),
 			ServerEpoch: binary.BigEndian.Uint64(payload[9:17]),
 		}
+	case statusExpired:
+		return nil, ErrDeadlineExpired
 	default:
 		return nil, fmt.Errorf("multiserver: unknown response status 0x%02x", payload[0])
 	}
@@ -232,12 +284,14 @@ type ServeOpts struct {
 // latency and service-time accounting.
 type Server struct {
 	ln      net.Listener
-	handler func([]byte) ([]byte, error)
+	handler DeadlineHandler
 	latency time.Duration
 	cpu     chan struct{} // nil = unlimited
 
 	busyNanos int64 // accumulated handler time (excludes injected latency)
 	requests  int64
+	panics    int64 // handler panics contained into error frames
+	expired   int64 // requests answered statusExpired without running the handler
 
 	mu     sync.Mutex
 	closed bool
@@ -245,11 +299,29 @@ type Server struct {
 	wg     sync.WaitGroup
 }
 
+// DeadlineHandler answers one request under an optional wire deadline:
+// has reports whether the request carried a deadline tag, and deadline
+// is the absolute local time the remaining budget translates to.
+type DeadlineHandler func(req []byte, deadline time.Time, has bool) ([]byte, error)
+
 // Serve starts a server on addr (use "127.0.0.1:0" for an ephemeral port).
 // Each request frame is answered by handler(payload) after sleeping the
 // injected latency (simulated wire delay). A handler error is reported to
-// the client as an error frame (the connection stays up).
+// the client as an error frame (the connection stays up). Deadline tags
+// on incoming requests are honored at the transport layer (an expired
+// request is answered statusExpired without running the handler) but
+// not passed through; handlers that want to stop work early use
+// ServeDeadline.
 func Serve(addr string, opts ServeOpts, handler func([]byte) ([]byte, error)) (*Server, error) {
+	return ServeDeadline(addr, opts, func(req []byte, _ time.Time, _ bool) ([]byte, error) {
+		return handler(req)
+	})
+}
+
+// ServeDeadline is Serve for deadline-aware handlers: the wire
+// deadline, when the request carries one, is decoded and handed to the
+// handler so backends can budget their enumeration against it.
+func ServeDeadline(addr string, opts ServeOpts, handler DeadlineHandler) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
@@ -347,11 +419,33 @@ func (s *Server) handleConn(conn net.Conn) {
 		if s.latency > 0 {
 			time.Sleep(s.latency)
 		}
+		remaining, body, tagged, derr := DecodeDeadlineRequest(req)
+		if derr != nil {
+			atomic.AddInt64(&s.requests, 1)
+			if err := writeResponse(conn, nil, derr); err != nil {
+				return
+			}
+			continue
+		}
+		if tagged && remaining <= 0 {
+			// The front end's budget is gone: don't burn a CPU slot
+			// enumerating for an abandoned query.
+			atomic.AddInt64(&s.expired, 1)
+			atomic.AddInt64(&s.requests, 1)
+			if err := writeResponse(conn, nil, ErrDeadlineExpired); err != nil {
+				return
+			}
+			continue
+		}
+		var deadline time.Time
+		if tagged {
+			deadline = time.Now().Add(remaining)
+		}
 		if s.cpu != nil {
 			s.cpu <- struct{}{}
 		}
 		start := time.Now()
-		resp, herr := s.handler(req)
+		resp, herr := s.callHandler(body, deadline, tagged)
 		atomic.AddInt64(&s.busyNanos, time.Since(start).Nanoseconds())
 		if s.cpu != nil {
 			<-s.cpu
@@ -362,6 +456,28 @@ func (s *Server) handleConn(conn net.Conn) {
 		}
 	}
 }
+
+// callHandler runs the handler with panic containment: a panicking
+// handler — a poison query, a corrupt index path — becomes a typed
+// *ServerError frame on this connection instead of killing the whole
+// process and every other query in flight.
+func (s *Server) callHandler(body []byte, deadline time.Time, tagged bool) (resp []byte, herr error) {
+	defer func() {
+		if r := recover(); r != nil {
+			atomic.AddInt64(&s.panics, 1)
+			resp, herr = nil, &ServerError{Msg: fmt.Sprintf("handler panic: %v", r)}
+		}
+	}()
+	return s.handler(body, deadline, tagged)
+}
+
+// Panics returns the number of handler panics contained into error
+// frames.
+func (s *Server) Panics() int64 { return atomic.LoadInt64(&s.panics) }
+
+// Expired returns the number of requests answered statusExpired without
+// running the handler (their wire deadline had already passed).
+func (s *Server) Expired() int64 { return atomic.LoadInt64(&s.expired) }
 
 // encodeIDs/decodeIDs serialize ID lists for the index-server response and
 // the ad-server request.
@@ -389,20 +505,96 @@ func decodeIDs(data []byte) ([]uint64, error) {
 	return ids, nil
 }
 
+// Result flags carried in the optional trailing byte of an ID frame.
+const (
+	// IDFlagTruncated marks a partial result: the backend's cost budget
+	// or deadline exhausted mid-enumeration, and the IDs are a correct
+	// subset of the full match set.
+	IDFlagTruncated = 1 << 0
+	// IDFlagCutoff marks the static MaxQueryWords cutoff: query words
+	// were dropped before enumeration, which may lose matches.
+	IDFlagCutoff = 1 << 1
+)
+
+// encodeIDsFlags appends a trailing flags byte to the ID frame only
+// when flags is non-zero, so the unflagged encoding stays byte-for-byte
+// identical to the legacy format (and legacy decodeIDs keeps accepting
+// it).
+func encodeIDsFlags(ids []uint64, flags byte) []byte {
+	if flags == 0 {
+		return encodeIDs(ids)
+	}
+	buf := make([]byte, 4+8*len(ids)+1)
+	binary.BigEndian.PutUint32(buf, uint32(len(ids)))
+	for i, id := range ids {
+		binary.BigEndian.PutUint64(buf[4+8*i:], id)
+	}
+	buf[len(buf)-1] = flags
+	return buf
+}
+
+// decodeIDsFlags parses an ID frame with or without the trailing flags
+// byte.
+func decodeIDsFlags(data []byte) ([]uint64, byte, error) {
+	if len(data) < 4 {
+		return nil, 0, errors.New("multiserver: short ID frame")
+	}
+	n := binary.BigEndian.Uint32(data)
+	var flags byte
+	switch uint32(len(data) - 4) {
+	case n * 8:
+	case n*8 + 1:
+		flags = data[len(data)-1]
+	default:
+		return nil, 0, fmt.Errorf("multiserver: ID frame length mismatch: %d ids, %d bytes", n, len(data)-4)
+	}
+	ids := make([]uint64, n)
+	for i := range ids {
+		ids[i] = binary.BigEndian.Uint64(data[4+8*i:])
+	}
+	return ids, flags, nil
+}
+
 // EncodeIDs, DecodeIDs, and DecodeMeta expose the wire encodings for
 // clients that speak the protocol directly (e.g. internal/shard).
 func EncodeIDs(ids []uint64) []byte { return encodeIDs(ids) }
 
+// EncodeIDsFlags is EncodeIDs with result flags; zero flags produce the
+// legacy unflagged encoding.
+func EncodeIDsFlags(ids []uint64, flags byte) []byte { return encodeIDsFlags(ids, flags) }
+
 // DecodeIDs parses an ID-list frame body.
 func DecodeIDs(data []byte) ([]uint64, error) { return decodeIDs(data) }
+
+// DecodeIDsFlags parses an ID-list frame body, tolerating (and
+// returning) the optional trailing flags byte.
+func DecodeIDsFlags(data []byte) ([]uint64, byte, error) { return decodeIDsFlags(data) }
 
 // DecodeMeta parses a metadata frame body.
 func DecodeMeta(data []byte) ([]AdMeta, error) { return decodeMeta(data) }
 
+// BudgetBackend is the deadline-aware extension of Backend: the wire
+// deadline (when the request carries one) bounds the enumeration, and
+// the returned flags (IDFlagTruncated/IDFlagCutoff) report what the
+// backend had to leave out.
+type BudgetBackend interface {
+	// MatchIDsBudget matches query under the request deadline (has
+	// reports whether one was carried) and returns the IDs plus result
+	// flags.
+	MatchIDsBudget(query string, deadline time.Time, has bool) ([]uint64, byte)
+}
+
 // NewIndexServer starts the index server: requests are query texts,
-// responses are matching ad ID lists.
+// responses are matching ad ID lists. A backend that also implements
+// BudgetBackend receives the wire deadline and its result flags ride
+// back in the ID frame.
 func NewIndexServer(addr string, opts ServeOpts, backend Backend) (*Server, error) {
-	return Serve(addr, opts, func(req []byte) ([]byte, error) {
+	bb, budgeted := backend.(BudgetBackend)
+	return ServeDeadline(addr, opts, func(req []byte, deadline time.Time, has bool) ([]byte, error) {
+		if budgeted {
+			ids, flags := bb.MatchIDsBudget(string(req), deadline, has)
+			return encodeIDsFlags(ids, flags), nil
+		}
 		return encodeIDs(backend.MatchIDs(string(req))), nil
 	})
 }
@@ -427,10 +619,18 @@ type EpochBackend interface {
 // clients keep working against an elastic deployment (at the cost of
 // missing post-cutover rebalances).
 func NewEpochIndexServer(addr string, opts ServeOpts, backend EpochBackend) (*Server, error) {
-	return Serve(addr, opts, func(req []byte) ([]byte, error) {
+	eb, budgeted := backend.(EpochBudgetBackend)
+	return ServeDeadline(addr, opts, func(req []byte, deadline time.Time, has bool) ([]byte, error) {
 		reqEpoch, body, tagged, err := DecodeEpochRequest(req)
 		if err != nil {
 			return nil, err
+		}
+		if budgeted {
+			ids, flags, err := eb.MatchIDsAtEpochBudget(reqEpoch, tagged, string(body), deadline, has)
+			if err != nil {
+				return nil, err
+			}
+			return encodeIDsFlags(ids, flags), nil
 		}
 		ids, err := backend.MatchIDsAtEpoch(reqEpoch, tagged, string(body))
 		if err != nil {
@@ -438,6 +638,12 @@ func NewEpochIndexServer(addr string, opts ServeOpts, backend EpochBackend) (*Se
 		}
 		return encodeIDs(ids), nil
 	})
+}
+
+// EpochBudgetBackend is the deadline-aware extension of EpochBackend,
+// mirroring BudgetBackend for epoch-checked deployments.
+type EpochBudgetBackend interface {
+	MatchIDsAtEpochBudget(epoch uint64, tagged bool, query string, deadline time.Time, has bool) ([]uint64, byte, error)
 }
 
 // AdMeta is the fixed-width per-ad metadata record served by the ad

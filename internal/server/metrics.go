@@ -169,6 +169,14 @@ type Registry struct {
 	// NotReady counts requests refused with 503 because durable recovery
 	// had not installed the index yet.
 	NotReady atomic.Uint64
+	// BudgetTruncated counts queries whose cost/deadline budget exhausted
+	// mid-match (answered with a flagged verified subset); Cutoffs counts
+	// queries whose words were clipped at MaxQueryWords.
+	BudgetTruncated, Cutoffs atomic.Uint64
+	// QuarantineRejects counts requests fast-rejected at admission
+	// because their fingerprint is quarantined; Panics counts match-path
+	// panics contained by the handler.
+	QuarantineRejects, Panics atomic.Uint64
 	// Rewrite-path totals, accumulated per approximate (rewrite=on)
 	// query: queries served, variants planned, index probes spent,
 	// queries whose expansion a budget clipped, and results contributed
@@ -221,6 +229,11 @@ type MetricsSnapshot struct {
 	Shed          uint64            `json:"shed"`
 	Timeouts      uint64            `json:"timeouts"`
 	InFlight      int64             `json:"in_flight"`
+	// Overload is the overload-armor section: shedding state and typed
+	// shed counts from the limiter, budget truncations and word-cutoff
+	// counts from the match path, and quarantine/panic containment
+	// activity.
+	Overload OverloadSnapshot `json:"overload"`
 	Mutations     uint64            `json:"mutations"`
 	Degraded      uint64            `json:"degraded"`
 	BackendErrors uint64            `json:"backend_errors"`
@@ -240,6 +253,25 @@ type MetricsSnapshot struct {
 	// in-flight migration phase, completed/aborted handoffs, and
 	// per-shard placement signals (slots, ads, matches served).
 	Elastic *shard.RebalanceStatus `json:"elastic,omitempty"`
+}
+
+// OverloadSnapshot is the overload-armor section of /metrics.
+type OverloadSnapshot struct {
+	// Shedding reports whether CoDel queue-delay shedding is active now.
+	Shedding bool `json:"shedding"`
+	// ShedOverload / ShedQueueFull split the limiter's rejections by
+	// cause: standing-queue delay vs the hard queue bound.
+	ShedOverload  uint64 `json:"shed_overload"`
+	ShedQueueFull uint64 `json:"shed_queue_full"`
+	// BudgetTruncated / Cutoffs count flagged-partial answers.
+	BudgetTruncated uint64 `json:"budget_truncated"`
+	Cutoffs         uint64 `json:"cutoffs"`
+	// Panics counts contained match-path panics; the quarantine fields
+	// describe the poison-query table.
+	Panics              uint64 `json:"panics"`
+	QuarantineEntries   int    `json:"quarantine_entries"`
+	QuarantineRejects   uint64 `json:"quarantine_rejects"`
+	QuarantinePromotion uint64 `json:"quarantine_promotions"`
 }
 
 // RewriteMetricsSnapshot is the rewrite section of /metrics.
@@ -312,6 +344,10 @@ func (r *Registry) Snapshot() MetricsSnapshot {
 	s.Degraded = r.Degraded.Load()
 	s.BackendErrors = r.BackendErrors.Load()
 	s.NotReady = r.NotReady.Load()
+	s.Overload.BudgetTruncated = r.BudgetTruncated.Load()
+	s.Overload.Cutoffs = r.Cutoffs.Load()
+	s.Overload.Panics = r.Panics.Load()
+	s.Overload.QuarantineRejects = r.QuarantineRejects.Load()
 	s.Latency = r.Latency.Snapshot()
 	return s
 }

@@ -66,6 +66,21 @@ type Config struct {
 	// RetryAfter is the hint returned with 503 shed responses.
 	// 0 selects 1s.
 	RetryAfter time.Duration
+	// QueryBudget bounds the index work (cost-model units: subset probes
+	// plus records scanned) one broad-match query may perform; exhausted
+	// queries return their verified partial results flagged truncated.
+	// 0 disables the cost bound (the request deadline still applies).
+	QueryBudget int64
+	// ShedTargetDelay enables CoDel-style admission shedding: when the
+	// minimum queue wait stays above this target for a full interval, new
+	// queue entrants are shed with 503 + Retry-After until the queue
+	// drains. 0 disables delay shedding (the hard queue bound remains).
+	ShedTargetDelay time.Duration
+	// QuarantineTTL enables the poison-query quarantine: queries that
+	// panic the match path (instantly) or repeatedly blow their budget
+	// (DefaultQuarantineStrikes within one TTL) are fast-rejected at
+	// admission for this long. 0 disables quarantine.
+	QuarantineTTL time.Duration
 	// Selection, when non-nil, applies the auction-side filters
 	// (exclusion keywords, bid floor, ranking, result cap) to matches
 	// before they are returned. Raw matches are what is cached, so the
@@ -153,11 +168,12 @@ type Server struct {
 	// elastic, when attached, surfaces live-resharding status in
 	// /metrics and /readyz and enables /admin/rebalance.
 	elastic atomic.Pointer[rebalHolder]
-	cfg     Config
-	cache    *Cache
-	limiter  *Limiter
-	metrics  *Registry
-	httpSrv  *http.Server
+	cfg        Config
+	cache      *Cache
+	limiter    *Limiter
+	quarantine *Quarantine // nil when Config.QuarantineTTL is 0
+	metrics    *Registry
+	httpSrv    *http.Server
 
 	lnMu     sync.Mutex
 	ln       net.Listener
@@ -167,6 +183,9 @@ type Server struct {
 	// handlerDelay artificially lengthens /search execution; used by
 	// shutdown-drain and saturation tests.
 	handlerDelay time.Duration
+	// panicOn makes /search panic on this exact query string; used by
+	// panic-containment tests.
+	panicOn string
 }
 
 // New builds a serving layer over ix. The server owns no goroutines until
@@ -214,13 +233,14 @@ func NewRemote(nc *shard.NetClient, cfg Config) *Server {
 func newServer(ix *adindex.Index, nc *shard.NetClient, cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		localMode: nc == nil,
-		remote:    nc,
-		cfg:       cfg,
-		cache:     NewCache(cfg.CacheEntries, cfg.CacheShards),
-		limiter:   NewLimiter(cfg.MaxInflight, cfg.MaxQueue),
-		metrics:   &Registry{},
-		serveErr:  make(chan error, 1),
+		localMode:  nc == nil,
+		remote:     nc,
+		cfg:        cfg,
+		cache:      NewCache(cfg.CacheEntries, cfg.CacheShards),
+		limiter:    NewLimiterShed(cfg.MaxInflight, cfg.MaxQueue, cfg.ShedTargetDelay),
+		quarantine: NewQuarantine(cfg.QuarantineTTL),
+		metrics:    &Registry{},
+		serveErr:   make(chan error, 1),
 	}
 	if ix != nil {
 		s.localIx.Store(ix)
@@ -388,6 +408,13 @@ type searchResponse struct {
 	Degraded     bool                 `json:"degraded,omitempty"`
 	FailedShards []int                `json:"failed_shards,omitempty"`
 	MetaMissing  bool                 `json:"meta_missing,omitempty"`
+
+	// Overload-armor fields: a budget-truncated answer is a verified
+	// ID-ordered subset of the full answer, flagged rather than silently
+	// short; CutoffApplied surfaces the MaxQueryWords word drop.
+	Truncated     bool  `json:"truncated,omitempty"`
+	CutoffApplied bool  `json:"cutoff_applied,omitempty"`
+	CostSpent     int64 `json:"cost_spent,omitempty"`
 }
 
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
@@ -422,13 +449,26 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Poison-query quarantine: a fingerprint that recently panicked the
+	// match path or repeatedly blew its budget is rejected before it can
+	// occupy an admission slot.
+	key := cacheKey(matchType, q)
+	if s.quarantine.Check(key) {
+		s.metrics.QuarantineRejects.Add(1)
+		s.shed(w)
+		return
+	}
+
 	// Admission: the deadline covers queue wait and execution.
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
 	if err := s.limiter.Acquire(ctx); err != nil {
-		if errors.Is(err, ErrQueueFull) {
+		switch {
+		case errors.Is(err, ErrQueueFull):
 			s.metrics.Shed.Add(1)
-		} else {
+		case errors.Is(err, ErrOverload):
+			s.metrics.Shed.Add(1)
+		default:
 			s.metrics.Timeouts.Add(1)
 		}
 		s.shed(w)
@@ -439,6 +479,18 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	defer s.metrics.InFlight.Add(-1)
 	s.metrics.reqCounter(matchType).Add(1)
 
+	// Panic containment: a query that panics the match path answers 500
+	// and quarantines its fingerprint instead of killing the process.
+	// The deferred limiter/in-flight releases above still run.
+	defer func() {
+		if rec := recover(); rec != nil {
+			s.metrics.Panics.Add(1)
+			s.quarantine.NotePanic(key)
+			s.cfg.Logger.Printf("search panic on %q (fingerprint quarantined): %v", q, rec)
+			http.Error(w, "internal error", http.StatusInternalServerError)
+		}
+	}()
+
 	if s.remote != nil {
 		if rewriteMode == "on" {
 			s.metrics.BadRequests.Add(1)
@@ -446,7 +498,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 				http.StatusNotImplemented)
 			return
 		}
-		s.searchRemote(w, q, matchType, start)
+		s.searchRemote(w, ctx, q, matchType, start)
 		return
 	}
 	ix := s.local()
@@ -459,14 +511,18 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	if s.panicOn != "" && q == s.panicOn {
+		panic("injected test panic")
+	}
 	ix.Observe(q)
 	// A View pins the epoch and the match results to the same snapshot:
 	// a cache entry can never pair an epoch with results computed against
 	// a different index state, so a stale result is never served.
 	view := ix.View()
-	key := cacheKey(matchType, q)
 	epoch := view.Epoch()
 	matches, hit := s.cache.Get(key, epoch)
+	var truncated, cutoff bool
+	var costSpent int64
 	if !hit {
 		switch matchType {
 		case "exact":
@@ -474,9 +530,26 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		case "phrase":
 			matches = view.PhraseMatch(q)
 		default:
-			matches = view.BroadMatch(q)
+			// Broad match runs under the cost budget and the request
+			// deadline; a truncated answer is a verified subset, flagged.
+			deadline, _ := ctx.Deadline()
+			res := view.BroadMatchBudget(q, adindex.QueryBudget{
+				MaxCost:  s.cfg.QueryBudget,
+				Deadline: deadline,
+			})
+			matches, truncated, cutoff, costSpent = res.Ads, res.Truncated, res.CutoffApplied, res.CostSpent
 		}
-		s.cache.Put(key, epoch, matches)
+		if truncated {
+			// Never cache a partial answer, and strike the fingerprint:
+			// enough blowouts inside the TTL window quarantine it.
+			s.metrics.BudgetTruncated.Add(1)
+			s.quarantine.NoteBudgetBlown(key)
+		} else {
+			s.cache.Put(key, epoch, matches)
+		}
+		if cutoff {
+			s.metrics.Cutoffs.Add(1)
+		}
 	}
 	if s.handlerDelay > 0 {
 		time.Sleep(s.handlerDelay)
@@ -488,12 +561,15 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	}
 	took := time.Since(start)
 	s.writeJSON(w, searchResponse{
-		Query:   q,
-		Type:    matchType,
-		Matched: len(matches),
-		Cached:  hit,
-		Ads:     result,
-		TookUS:  took.Microseconds(),
+		Query:         q,
+		Type:          matchType,
+		Matched:       len(matches),
+		Cached:        hit,
+		Ads:           result,
+		TookUS:        took.Microseconds(),
+		Truncated:     truncated,
+		CutoffApplied: cutoff,
+		CostSpent:     costSpent,
 	})
 	s.metrics.Latency.Observe(time.Since(start))
 }
@@ -603,7 +679,7 @@ func (s *Server) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
 	if err := s.limiter.Acquire(ctx); err != nil {
-		if errors.Is(err, ErrQueueFull) {
+		if errors.Is(err, ErrQueueFull) || errors.Is(err, ErrOverload) {
 			s.metrics.Shed.Add(1)
 		} else {
 			s.metrics.Timeouts.Add(1)
@@ -615,6 +691,16 @@ func (s *Server) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
 	s.metrics.InFlight.Add(1)
 	defer s.metrics.InFlight.Add(-1)
 	s.metrics.ReqBroad.Add(uint64(len(req.Queries)))
+
+	// Batch panic containment: same recovery as /search, minus the
+	// quarantine strike (no single fingerprint to blame).
+	defer func() {
+		if rec := recover(); rec != nil {
+			s.metrics.Panics.Add(1)
+			s.cfg.Logger.Printf("batch search panic: %v", rec)
+			http.Error(w, "internal error", http.StatusInternalServerError)
+		}
+	}()
 
 	ix := s.local()
 	if ix == nil {
@@ -683,15 +769,23 @@ func (s *Server) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
 // searchRemote answers a /search through the distributed shard client.
 // Only broad match exists on the wire protocol; a degraded (partial or
 // ID-only) answer is served with its degradation flags rather than
-// failing, and total backend failure maps to 502.
-func (s *Server) searchRemote(w http.ResponseWriter, q, matchType string, start time.Time) {
+// failing, and total backend failure maps to 502. The request deadline
+// rides the wire to every backend attempt; a query whose budget runs
+// out mid-fan-out answers 504.
+func (s *Server) searchRemote(w http.ResponseWriter, ctx context.Context, q, matchType string, start time.Time) {
 	if matchType != "broad" {
 		s.metrics.BadRequests.Add(1)
 		http.Error(w, "remote serving supports type=broad only", http.StatusNotImplemented)
 		return
 	}
-	res, err := s.remote.QueryResult(q)
+	deadline, _ := ctx.Deadline()
+	res, err := s.remote.QueryResultDeadline(q, deadline)
 	if err != nil {
+		if errors.Is(err, multiserver.ErrDeadlineExpired) {
+			s.metrics.Timeouts.Add(1)
+			http.Error(w, "request deadline expired", http.StatusGatewayTimeout)
+			return
+		}
 		s.metrics.BackendErrors.Add(1)
 		http.Error(w, "backend query failed: "+err.Error(), http.StatusBadGateway)
 		return
@@ -699,16 +793,28 @@ func (s *Server) searchRemote(w http.ResponseWriter, q, matchType string, start 
 	if res.Degraded {
 		s.metrics.Degraded.Add(1)
 	}
+	if res.Truncated {
+		// A truncated remote answer means backends burned a full budget on
+		// this fingerprint; strike it so a retry loop gets quarantined the
+		// same way it would against a local index.
+		s.metrics.BudgetTruncated.Add(1)
+		s.quarantine.NoteBudgetBlown(cacheKey(matchType, q))
+	}
+	if res.CutoffApplied {
+		s.metrics.Cutoffs.Add(1)
+	}
 	s.writeJSON(w, searchResponse{
-		Query:        q,
-		Type:         matchType,
-		Matched:      len(res.IDs),
-		IDs:          res.IDs,
-		Meta:         res.Meta,
-		Degraded:     res.Degraded,
-		FailedShards: res.FailedShards,
-		MetaMissing:  res.MetaMissing,
-		TookUS:       time.Since(start).Microseconds(),
+		Query:         q,
+		Type:          matchType,
+		Matched:       len(res.IDs),
+		IDs:           res.IDs,
+		Meta:          res.Meta,
+		Degraded:      res.Degraded,
+		FailedShards:  res.FailedShards,
+		MetaMissing:   res.MetaMissing,
+		Truncated:     res.Truncated,
+		CutoffApplied: res.CutoffApplied,
+		TookUS:        time.Since(start).Microseconds(),
 	})
 	s.metrics.Latency.Observe(time.Since(start))
 }
@@ -823,6 +929,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	snap := s.metrics.Snapshot()
 	snap.Cache.Hits, snap.Cache.Misses, snap.Cache.Invalidations = s.cache.Stats()
 	snap.Cache.Entries = s.cache.Len()
+	snap.Overload.Shedding = s.limiter.Shedding()
+	snap.Overload.ShedOverload = s.limiter.ShedOverload()
+	snap.Overload.ShedQueueFull = s.limiter.ShedQueueFull()
+	snap.Overload.QuarantineEntries = s.quarantine.Len()
+	snap.Overload.QuarantinePromotion = s.quarantine.Quarantined()
 	if ix := s.local(); ix != nil {
 		snap.Epoch = ix.Epoch()
 		if ix.RewriteEnabled() {

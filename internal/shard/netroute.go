@@ -3,6 +3,7 @@ package shard
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"adindex/internal/multiserver"
 )
@@ -72,11 +73,11 @@ func (nc *NetClient) Epoch() uint64 {
 
 // runRouted fans the query out under the current routing table,
 // refreshing and retrying on stale-epoch rejections.
-func (nc *NetClient) runRouted(query string, partial bool) (*Result, error) {
+func (nc *NetClient) runRouted(query string, deadline time.Time, partial bool) (*Result, error) {
 	for refresh := 0; ; refresh++ {
 		st := nc.route.Load()
 		req := multiserver.EncodeEpochRequest(st.route.Table.Epoch, []byte(query))
-		res, err := nc.fanOut(st.shards, st.route.Table.ActiveShards(), req, partial)
+		res, err := nc.fanOut(st.shards, st.route.Table.ActiveShards(), req, deadline, partial)
 		if err == nil || !errors.Is(err, multiserver.ErrStaleEpoch) {
 			return res, err
 		}

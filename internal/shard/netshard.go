@@ -55,6 +55,12 @@ type Result struct {
 	// the result is ID-only (zero metadata) — the ID list is still
 	// served rather than failing the whole query.
 	MetaMissing bool
+	// Truncated is set when any answering shard ran out of cost budget
+	// and returned a partial (but verified, ID-ordered) match list.
+	Truncated bool
+	// CutoffApplied is set when any shard dropped query words past its
+	// MaxQueryWords bound before matching.
+	CutoffApplied bool
 }
 
 // replicaSet is one shard's replica connections with failover state.
@@ -104,35 +110,35 @@ func (rs *replicaSet) deadFor() time.Duration {
 // probed is false when the round was skipped by the rate limit (the
 // caller keeps its fast-fail error); otherwise ids/err carry the round's
 // outcome, with the same stale-epoch semantics as a normal attempt.
-func (rs *replicaSet) probeThrough(req []byte) (ids []uint64, err error, probed bool) {
+func (rs *replicaSet) probeThrough(req []byte, deadline time.Time) (ids []uint64, flags byte, err error, probed bool) {
 	cd := rs.conns[0].Breaker().Cooldown()
 	now := time.Now().UnixNano()
 	last := rs.lastProbe.Load()
 	if last != 0 && now-last < int64(cd) {
-		return nil, nil, false
+		return nil, 0, nil, false
 	}
 	if !rs.lastProbe.CompareAndSwap(last, now) {
 		// Another goroutine owns this round; let it probe.
-		return nil, nil, false
+		return nil, 0, nil, false
 	}
 	var lastErr error
 	for _, ci := range rs.order() {
-		resp, perr := rs.conns[ci].Probe(req)
+		resp, perr := rs.conns[ci].ProbeDeadline(req, deadline)
 		if perr == nil {
-			got, derr := decodeShardIDs(resp)
+			got, fl, derr := decodeShardIDs(resp)
 			if derr != nil {
 				lastErr = derr
 				continue
 			}
 			rs.preferred.Store(int32(ci))
-			return got, nil, true
+			return got, fl, nil, true
 		}
-		if errors.Is(perr, multiserver.ErrStaleEpoch) {
-			return nil, perr, true
+		if errors.Is(perr, multiserver.ErrStaleEpoch) || errors.Is(perr, multiserver.ErrDeadlineExpired) {
+			return nil, 0, perr, true
 		}
 		lastErr = perr
 	}
-	return nil, lastErr, true
+	return nil, 0, lastErr, true
 }
 
 // NetClient fans broad-match queries out to several remote index shards
@@ -282,7 +288,7 @@ func (nc *NetClient) allConns() []*multiserver.Conn {
 // parity with the two-hop deployment. Strict semantics: any shard
 // failure fails the query. Use QueryResult for graceful degradation.
 func (nc *NetClient) Query(query string) ([]uint64, error) {
-	res, err := nc.run(query, false)
+	res, err := nc.run(query, time.Time{}, false)
 	if err != nil {
 		return nil, err
 	}
@@ -294,33 +300,44 @@ func (nc *NetClient) Query(query string) ([]uint64, error) {
 // result is flagged Degraded) and an unreachable ad server yields an
 // ID-only result instead of an error.
 func (nc *NetClient) QueryResult(query string) (*Result, error) {
-	return nc.run(query, nc.opts.AllowPartial)
+	return nc.run(query, time.Time{}, nc.opts.AllowPartial)
 }
 
-func (nc *NetClient) run(query string, partial bool) (*Result, error) {
+// QueryResultDeadline is QueryResult carrying a request deadline: every
+// shard attempt (including failover and hedged duplicates) is tagged
+// with the budget remaining at send time, a backend whose budget is
+// spent answers a typed expired frame instead of burning a CPU slot,
+// and the whole query fails with multiserver.ErrDeadlineExpired once
+// the budget is gone. A zero deadline behaves exactly like QueryResult.
+func (nc *NetClient) QueryResultDeadline(query string, deadline time.Time) (*Result, error) {
+	return nc.run(query, deadline, nc.opts.AllowPartial)
+}
+
+func (nc *NetClient) run(query string, deadline time.Time, partial bool) (*Result, error) {
 	if nc.routed {
-		return nc.runRouted(query, partial)
+		return nc.runRouted(query, deadline, partial)
 	}
 	shardIDs := make([]int, len(nc.shards))
 	for i := range shardIDs {
 		shardIDs[i] = i
 	}
-	return nc.fanOut(nc.shards, shardIDs, []byte(query), partial)
+	return nc.fanOut(nc.shards, shardIDs, []byte(query), deadline, partial)
 }
 
 // fanOut queries sets[id] for every id in shardIDs concurrently and
 // merges the answers. A stale-epoch rejection from any shard is
 // returned as-is (highest priority) so routed callers can refresh and
 // retry the whole query.
-func (nc *NetClient) fanOut(sets []*replicaSet, shardIDs []int, req []byte, partial bool) (*Result, error) {
+func (nc *NetClient) fanOut(sets []*replicaSet, shardIDs []int, req []byte, deadline time.Time, partial bool) (*Result, error) {
 	ids := make([][]uint64, len(shardIDs))
+	flags := make([]byte, len(shardIDs))
 	errs := make([]error, len(shardIDs))
 	var wg sync.WaitGroup
 	for i, id := range shardIDs {
 		wg.Add(1)
 		go func(i int, rs *replicaSet) {
 			defer wg.Done()
-			ids[i], errs[i] = nc.queryShard(rs, req)
+			ids[i], flags[i], errs[i] = nc.queryShard(rs, req, deadline)
 		}(i, sets[id])
 	}
 	wg.Wait()
@@ -333,6 +350,11 @@ func (nc *NetClient) fanOut(sets []*replicaSet, shardIDs []int, req []byte, part
 			if errors.Is(err, multiserver.ErrStaleEpoch) {
 				return nil, err
 			}
+			if errors.Is(err, multiserver.ErrDeadlineExpired) {
+				// The whole query is out of budget: no point serving the
+				// shards that squeaked in under the wire.
+				return nil, err
+			}
 			res.FailedShards = append(res.FailedShards, shardIDs[i])
 			if firstErr == nil {
 				firstErr = fmt.Errorf("shard %d: %w", shardIDs[i], err)
@@ -341,6 +363,12 @@ func (nc *NetClient) fanOut(sets []*replicaSet, shardIDs []int, req []byte, part
 		}
 		live++
 		res.IDs = append(res.IDs, ids[i]...)
+		if flags[i]&multiserver.IDFlagTruncated != 0 {
+			res.Truncated = true
+		}
+		if flags[i]&multiserver.IDFlagCutoff != 0 {
+			res.CutoffApplied = true
+		}
 	}
 	if firstErr != nil && !partial {
 		return nil, firstErr
@@ -352,7 +380,7 @@ func (nc *NetClient) fanOut(sets []*replicaSet, shardIDs []int, req []byte, part
 	res.Degraded = len(res.FailedShards) > 0
 	sort.Slice(res.IDs, func(i, j int) bool { return res.IDs[i] < res.IDs[j] })
 
-	meta, err := nc.fetchMeta(res.IDs)
+	meta, err := nc.fetchMeta(res.IDs, deadline)
 	if err != nil {
 		if !partial {
 			return nil, err
@@ -376,40 +404,41 @@ func (nc *NetClient) fanOut(sets []*replicaSet, shardIDs []int, req []byte, part
 // A stale-epoch rejection short-circuits: the shard is alive, its
 // replicas move epochs in lockstep, so failing over would only repeat
 // the rejection — the caller must refresh its routing table instead.
-func (nc *NetClient) queryShard(rs *replicaSet, req []byte) ([]uint64, error) {
+func (nc *NetClient) queryShard(rs *replicaSet, req []byte, deadline time.Time) ([]uint64, byte, error) {
 	order := rs.order()
 	if nc.opts.HedgeAfter <= 0 || len(order) == 1 {
 		var lastErr error
 		sawFastFail := false
 		for _, ci := range order {
-			ids, err := queryConn(rs.conns[ci], req)
+			ids, flags, err := queryConn(rs.conns[ci], req, deadline)
 			if err == nil {
 				rs.preferred.Store(int32(ci))
 				rs.markLive()
-				return ids, nil
+				return ids, flags, nil
 			}
-			if errors.Is(err, multiserver.ErrStaleEpoch) {
+			if errors.Is(err, multiserver.ErrStaleEpoch) || errors.Is(err, multiserver.ErrDeadlineExpired) {
 				rs.markLive()
-				return nil, err
+				return nil, 0, err
 			}
 			if errors.Is(err, multiserver.ErrBreakerOpen) {
 				sawFastFail = true
 			}
 			lastErr = err
 		}
-		return nc.failShard(rs, req, lastErr, sawFastFail)
+		return nc.failShard(rs, req, deadline, lastErr, sawFastFail)
 	}
 
 	type attempt struct {
-		ci  int
-		ids []uint64
-		err error
+		ci    int
+		ids   []uint64
+		flags byte
+		err   error
 	}
 	ch := make(chan attempt, len(order))
 	launch := func(ci int) {
 		go func() {
-			ids, err := queryConn(rs.conns[ci], req)
-			ch <- attempt{ci, ids, err}
+			ids, flags, err := queryConn(rs.conns[ci], req, deadline)
+			ch <- attempt{ci, ids, flags, err}
 		}()
 	}
 	launch(order[0])
@@ -425,11 +454,11 @@ func (nc *NetClient) queryShard(rs *replicaSet, req []byte) ([]uint64, error) {
 			if a.err == nil {
 				rs.preferred.Store(int32(a.ci))
 				rs.markLive()
-				return a.ids, nil
+				return a.ids, a.flags, nil
 			}
-			if errors.Is(a.err, multiserver.ErrStaleEpoch) {
+			if errors.Is(a.err, multiserver.ErrStaleEpoch) || errors.Is(a.err, multiserver.ErrDeadlineExpired) {
 				rs.markLive()
-				return nil, a.err
+				return nil, 0, a.err
 			}
 			if errors.Is(a.err, multiserver.ErrBreakerOpen) {
 				sawFastFail = true
@@ -449,7 +478,7 @@ func (nc *NetClient) queryShard(rs *replicaSet, req []byte) ([]uint64, error) {
 			}
 		}
 	}
-	return nc.failShard(rs, req, lastErr, sawFastFail)
+	return nc.failShard(rs, req, deadline, lastErr, sawFastFail)
 }
 
 // failShard finishes a shard query whose every replica attempt failed.
@@ -458,35 +487,35 @@ func (nc *NetClient) queryShard(rs *replicaSet, req []byte) ([]uint64, error) {
 // state, not the shard's current health — so one rate-limited forced
 // probe round runs before the failure is allowed to stand (see
 // replicaSet.probeThrough).
-func (nc *NetClient) failShard(rs *replicaSet, req []byte, lastErr error, sawFastFail bool) ([]uint64, error) {
+func (nc *NetClient) failShard(rs *replicaSet, req []byte, deadline time.Time, lastErr error, sawFastFail bool) ([]uint64, byte, error) {
 	if sawFastFail {
-		if ids, err, probed := rs.probeThrough(req); probed {
+		if ids, flags, err, probed := rs.probeThrough(req, deadline); probed {
 			nc.probes.Add(1)
 			if err == nil {
 				rs.markLive()
-				return ids, nil
+				return ids, flags, nil
 			}
-			if errors.Is(err, multiserver.ErrStaleEpoch) {
+			if errors.Is(err, multiserver.ErrStaleEpoch) || errors.Is(err, multiserver.ErrDeadlineExpired) {
 				rs.markLive()
-				return nil, err
+				return nil, 0, err
 			}
 			lastErr = err
 		}
 	}
 	rs.markDead()
-	return nil, lastErr
+	return nil, 0, lastErr
 }
 
-func queryConn(c *multiserver.Conn, req []byte) ([]uint64, error) {
-	resp, err := c.Exchange(req)
+func queryConn(c *multiserver.Conn, req []byte, deadline time.Time) ([]uint64, byte, error) {
+	resp, err := c.ExchangeDeadline(req, deadline)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	return decodeShardIDs(resp)
 }
 
-func (nc *NetClient) fetchMeta(ids []uint64) ([]multiserver.AdMeta, error) {
-	resp, err := nc.ad.Exchange(encodeShardIDs(ids))
+func (nc *NetClient) fetchMeta(ids []uint64, deadline time.Time) ([]multiserver.AdMeta, error) {
+	resp, err := nc.ad.ExchangeDeadline(encodeShardIDs(ids), deadline)
 	if err != nil {
 		nc.adDead.CompareAndSwap(0, time.Now().UnixNano())
 		return nil, fmt.Errorf("shard: ad metadata fetch: %w", err)
@@ -608,6 +637,10 @@ func (nc *NetClient) Stats() Stats {
 	return s
 }
 
-// encodeShardIDs/decodeShardIDs delegate to the multiserver wire format.
-func encodeShardIDs(ids []uint64) []byte        { return multiserver.EncodeIDs(ids) }
-func decodeShardIDs(b []byte) ([]uint64, error) { return multiserver.DecodeIDs(b) }
+// encodeShardIDs/decodeShardIDs delegate to the multiserver wire
+// format; the tolerant decoder accepts both legacy and flag-carrying
+// ID frames.
+func encodeShardIDs(ids []uint64) []byte { return multiserver.EncodeIDs(ids) }
+func decodeShardIDs(b []byte) ([]uint64, byte, error) {
+	return multiserver.DecodeIDsFlags(b)
+}

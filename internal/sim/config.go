@@ -49,6 +49,14 @@ type Config struct {
 	// invariants) every N ops. Default 25; negative disables.
 	CheckEvery int `json:"check_every"`
 
+	// Budget, when > 0, is the overload scenario: every OpQuery is
+	// additionally run through BroadMatchBudget with MaxCost=Budget on
+	// the plain target and held to the truncation contract — a truncated
+	// answer must be an ID-ordered subset of the full oracle answer with
+	// every element a true, field-identical match; a non-truncated
+	// answer must be exact. Zero disables the budgeted check.
+	Budget int64 `json:"budget,omitempty"`
+
 	// mutateResults, when set, perturbs the plain target's OpQuery
 	// results before the oracle comparison. Test seam: shrinker and
 	// oracle tests inject a deliberate off-by-one here and assert it is

@@ -16,7 +16,7 @@ import (
 // string. Identical seeds produce identical Failures.
 type Failure struct {
 	OpIndex int    `json:"op_index"`
-	Target  string `json:"target"` // "plain", "auction", "durable", "compressed", "net", "state"
+	Target  string `json:"target"` // "plain", "auction", "budget", "durable", "compressed", "net", "state"
 	Detail  string `json:"detail"`
 }
 
@@ -26,9 +26,10 @@ func (f *Failure) Error() string {
 
 // Result is the outcome of one run.
 type Result struct {
-	Schedule Schedule
-	Checks   int // oracle comparisons performed
-	Failure  *Failure
+	Schedule  Schedule
+	Checks    int // oracle comparisons performed
+	Truncated int // budgeted queries that exhausted their cost budget
+	Failure   *Failure
 }
 
 // Verdict is the one-line deterministic outcome (identical across runs
@@ -96,6 +97,7 @@ func RunSchedule(cfg Config, sched Schedule) (*Result, error) {
 		res.Failure = r.checkState(len(sched.Ops) - 1)
 	}
 	res.Checks = r.checks
+	res.Truncated = r.truncated
 	return res, nil
 }
 
@@ -105,9 +107,10 @@ type runner struct {
 	rw     *rewrite.Planner // oracle-side planner, nil unless cfg.Rewrite
 	plain  *adindex.Index
 	dur    *durTarget
-	net    netDeployment
-	enet   *elasticTarget // non-nil iff cfg.Elastic (same object as net)
-	checks int
+	net       netDeployment
+	enet      *elasticTarget // non-nil iff cfg.Elastic (same object as net)
+	checks    int
+	truncated int
 }
 
 func (r *runner) apply(i int, op *Op) *Failure {
@@ -299,6 +302,12 @@ func (r *runner) checkQuery(i int, q string) *Failure {
 	}
 	r.checks++
 
+	if r.cfg.Budget > 0 {
+		if f := r.checkBudgetQuery(i, q, want); f != nil {
+			return f
+		}
+	}
+
 	if r.dur != nil {
 		dgot := r.dur.ix.BroadMatch(q)
 		sortAdsByID(dgot)
@@ -313,6 +322,27 @@ func (r *runner) checkQuery(i int, q string) *Failure {
 			return f
 		}
 	}
+	return nil
+}
+
+// checkBudgetQuery runs q under the configured cost budget and holds
+// the answer to the truncation contract: a truncated answer is an
+// ID-ordered, fully verified subset of the oracle's full answer (never
+// wrong, only incomplete); a non-truncated answer is exact.
+func (r *runner) checkBudgetQuery(i int, q string, want []corpus.Ad) *Failure {
+	fail := func(format string, args ...interface{}) *Failure {
+		return &Failure{OpIndex: i, Target: "budget", Detail: fmt.Sprintf(format, args...)}
+	}
+	res := r.plain.BroadMatchBudget(q, adindex.QueryBudget{MaxCost: r.cfg.Budget})
+	if res.Truncated {
+		r.truncated++
+		if d := subsetDiffAds(res.Ads, want); d != "" {
+			return fail("truncated query %q (budget %d, spent %d): %s", q, r.cfg.Budget, res.CostSpent, d)
+		}
+	} else if d := diffAds(res.Ads, want); d != "" {
+		return fail("query %q (budget %d, spent %d): %s", q, r.cfg.Budget, res.CostSpent, d)
+	}
+	r.checks++
 	return nil
 }
 
@@ -414,13 +444,46 @@ func diffAds(got, want []corpus.Ad) string {
 		if g.ID != w.ID {
 			return fmt.Sprintf("result %d has ID %d, oracle says %d", i, g.ID, w.ID)
 		}
-		if g.Phrase != w.Phrase || !stringsEqual(g.Words, w.Words) {
-			return fmt.Sprintf("ad %d phrase/words = %q/%v, oracle says %q/%v", g.ID, g.Phrase, g.Words, w.Phrase, w.Words)
+		if d := adDiff(g, w); d != "" {
+			return d
 		}
-		if g.Meta.CampaignID != w.Meta.CampaignID || g.Meta.BidMicros != w.Meta.BidMicros ||
-			g.Meta.ClickRate != w.Meta.ClickRate || !stringsEqual(g.Meta.Exclusions, w.Meta.Exclusions) {
-			return fmt.Sprintf("ad %d meta = %+v, oracle says %+v", g.ID, g.Meta, w.Meta)
+	}
+	return ""
+}
+
+// adDiff field-compares two ads with the same ID, returning "" when
+// identical or a deterministic description of the first divergence.
+func adDiff(g, w *corpus.Ad) string {
+	if g.Phrase != w.Phrase || !stringsEqual(g.Words, w.Words) {
+		return fmt.Sprintf("ad %d phrase/words = %q/%v, oracle says %q/%v", g.ID, g.Phrase, g.Words, w.Phrase, w.Words)
+	}
+	if g.Meta.CampaignID != w.Meta.CampaignID || g.Meta.BidMicros != w.Meta.BidMicros ||
+		g.Meta.ClickRate != w.Meta.ClickRate || !stringsEqual(g.Meta.Exclusions, w.Meta.Exclusions) {
+		return fmt.Sprintf("ad %d meta = %+v, oracle says %+v", g.ID, g.Meta, w.Meta)
+	}
+	return ""
+}
+
+// subsetDiffAds checks that got is an ID-ordered sub-multiset of want
+// (ID-sorted) with every matched element field-identical — the
+// truncation contract. Returns "" when it holds.
+func subsetDiffAds(got, want []corpus.Ad) string {
+	j := 0
+	for i := range got {
+		if i > 0 && got[i].ID < got[i-1].ID {
+			return fmt.Sprintf("truncated results not ID-ordered: ID %d after %d", got[i].ID, got[i-1].ID)
 		}
+		for j < len(want) && want[j].ID < got[i].ID {
+			j++
+		}
+		if j == len(want) || want[j].ID != got[i].ID {
+			return fmt.Sprintf("result %d (ID %d) is not in the oracle answer (got %v, oracle %v)",
+				i, got[i].ID, idsOf(got), idsOf(want))
+		}
+		if d := adDiff(&got[i], &want[j]); d != "" {
+			return d
+		}
+		j++
 	}
 	return ""
 }

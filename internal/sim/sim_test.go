@@ -88,7 +88,7 @@ func TestSim(t *testing.T) {
 	}
 }
 
-func runSeed(t *testing.T, cfg Config) {
+func runSeed(t *testing.T, cfg Config) *Result {
 	t.Helper()
 	sched := Generate(cfg)
 	res, err := RunSchedule(cfg, sched)
@@ -97,7 +97,7 @@ func runSeed(t *testing.T, cfg Config) {
 	}
 	if res.Failure == nil {
 		t.Logf("%s", res.Verdict())
-		return
+		return res
 	}
 	t.Logf("divergence, minimizing: %s", res.Verdict())
 	min, mf := Shrink(cfg, sched)
@@ -111,6 +111,7 @@ func runSeed(t *testing.T, cfg Config) {
 	t.Logf("minimized to %d ops (%v); replay with:\n  go test -run TestSim ./internal/sim -sim.replay=%s\nor regenerate with:\n  go test -run TestSim ./internal/sim -sim.seed=%d -sim.ops=%d",
 		len(min.Ops), mf, path, cfg.Seed, len(sched.Ops))
 	t.Fatal(res.Verdict())
+	return res
 }
 
 // TestSimDeterministic: identical seeds produce byte-identical traces
@@ -204,6 +205,32 @@ func TestSimRegressionSeeds(t *testing.T) {
 			cfg.Gen.Ops = 100
 			runSeed(t, cfg)
 		})
+	}
+}
+
+// overloadSeeds pin the overload scenario: every query additionally
+// runs under a tight cost budget on the full stack, and its (often
+// truncated) answer is held to the truncation contract — an ID-ordered
+// verified subset of the oracle's full answer, exact when not
+// truncated. This is the sim half of the PR 9 overload armor; `make
+// overloadsmoke` runs it under the race detector.
+var overloadSeeds = []int64{4, 9, 17}
+
+func TestSimOverloadBudget(t *testing.T) {
+	truncated := 0
+	for _, seed := range overloadSeeds {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			cfg := fullConfig(t, seed)
+			cfg.Gen.Ops = 100
+			cfg.Budget = 8 // tight: most real matches cost more than this
+			if res := runSeed(t, cfg); res != nil {
+				truncated += res.Truncated
+			}
+		})
+	}
+	if truncated == 0 {
+		t.Fatal("no query ever truncated: the overload scenario exercised nothing")
 	}
 }
 

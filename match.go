@@ -252,6 +252,9 @@ type queryScratch struct {
 	words   []string
 	core    core.Scratch
 	matches []*corpus.Ad
+	// budget is the per-query cost budget of the budgeted entry points,
+	// kept here so a budgeted query allocates nothing extra.
+	budget core.Budget
 
 	// Batch-only buffers: one shared token arena for every query in a
 	// block (batchOff[i]..batchOff[i+1] delimits query i's canonical
