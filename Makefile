@@ -14,10 +14,10 @@
 GO ?= go
 
 .PHONY: check vet build test race recovery-smoke simsmoke migratesmoke \
-	overloadsmoke soak cover fuzzsmoke benchsmoke bench bench-reshard \
-	bench-overload clean
+	overloadsmoke adaptsmoke soak cover fuzzsmoke benchsmoke bench \
+	bench-reshard bench-overload bench-adapt clean
 
-check: vet build test race recovery-smoke simsmoke migratesmoke overloadsmoke fuzzsmoke benchsmoke
+check: vet build test race recovery-smoke simsmoke migratesmoke overloadsmoke adaptsmoke fuzzsmoke benchsmoke
 
 vet:
 	$(GO) vet ./...
@@ -31,7 +31,8 @@ test:
 race:
 	$(GO) test -race -short . ./internal/core ./internal/server ./internal/multiserver \
 		./internal/faultnet ./internal/shard ./internal/durable ./internal/diskfault \
-		./internal/rewrite ./internal/sim ./internal/simclock
+		./internal/rewrite ./internal/sim ./internal/simclock ./internal/setcover \
+		./internal/optimize
 
 # The crash-recovery stress skips under -short (it forks and SIGKILLs a
 # child), so the smoke target runs it explicitly, under the race
@@ -69,6 +70,19 @@ overloadsmoke:
 	$(GO) test -race -run 'TestSearchBudgetTruncation|TestSearchPanicContainment|TestLimiterShed|TestQuarantine|TestOverloadFlood' \
 		-v ./internal/server
 
+# Continuous-adaptation regression gate: the pinned adapt sim seeds
+# (synchronous rounds interleaved with inserts, deletes, Optimize calls,
+# and torn-crash restarts, oracle-checked) plus ddmin over adapt
+# schedules, the root adapt control-loop tests (incremental ≡ batch
+# greedy, RCU apply, recalibration), and the closed-loop drift
+# acceptance test through the HTTP server, under the race detector.
+adaptsmoke:
+	$(GO) test -race -run 'TestSimAdaptRegressionSeeds|TestSimShrinkWithAdaptOps' \
+		-v ./internal/sim
+	$(GO) test -race -run 'TestAdapt|TestExportDelta|TestApplyPlacement|TestStartStopAdapt|TestRecordQueryCost|TestIncremental|TestGaps|TestPlacement' \
+		. ./internal/setcover ./internal/optimize
+	$(GO) test -race -run 'TestAdaptUnderDrift' -v ./internal/server
+
 # Longer randomized soak: more ops per schedule and a block of seeds
 # that rotates daily (seedbase = days since epoch), so successive days
 # explore fresh schedules while any day's failure stays reproducible
@@ -103,10 +117,18 @@ fuzzsmoke:
 # exclusion-set string arena copied out per query was added after PR3's
 # recording. Any regression beyond that documented delta fails.
 BENCHGATE_ALLOW = -allow-allocs snapshot=1 -allow-allocs snapshot-append=1
+# The PR10 gate compares the committed pre-drift and post-drift adapt
+# recordings by p99 modeled-cost ratio: the adapting index must hold
+# within 1.3x of its pre-drift baseline while the frozen control must
+# degrade by at least 1.5x (or the drift scenario measured nothing).
+# QPS across drift phases is not a regression pair, hence the loose cap.
+BENCHGATE_ADAPT = -max-qps-drop 0.9 \
+	-max-p99cost-ratio adapt-drift=1.3 -min-p99cost-ratio adapt-static-drift=1.5
 benchsmoke:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .
 	$(GO) run ./cmd/benchgate -old BENCH_PR3.json -new BENCH_PR8.json $(BENCHGATE_ALLOW)
 	$(GO) run ./cmd/benchgate -old BENCH_PR9_BASE.json -new BENCH_PR9.json -max-qps-drop 0.03
+	$(GO) run ./cmd/benchgate -old BENCH_PR10_BASE.json -new BENCH_PR10.json $(BENCHGATE_ADAPT)
 
 # Reproducible before/after numbers for the broad-match read path;
 # writes BENCH_PR8.json (quoted in README "Performance"), then gates the
@@ -132,6 +154,14 @@ bench-reshard:
 bench-overload:
 	$(GO) run ./cmd/adbench -experiment overload
 	$(GO) run ./cmd/benchgate -old BENCH_PR9_BASE.json -new BENCH_PR9.json -max-qps-drop 0.03
+
+# Continuous adaptation under workload drift: an adapting index vs a
+# frozen control on the same hub corpus whose traffic shifts mid-run
+# (BENCH_PR10_BASE.json pre-drift, BENCH_PR10.json post-drift), then the
+# p99 modeled-cost ratio gate over the fresh recording.
+bench-adapt:
+	$(GO) run ./cmd/adbench -experiment adapt
+	$(GO) run ./cmd/benchgate -old BENCH_PR10_BASE.json -new BENCH_PR10.json $(BENCHGATE_ADAPT)
 
 clean:
 	$(GO) clean ./...

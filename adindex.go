@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"adindex/internal/adapt"
 	"adindex/internal/core"
 	"adindex/internal/corpus"
 	"adindex/internal/costmodel"
@@ -69,6 +70,10 @@ type Options struct {
 	// synonym-class expansion, under a per-query budget. Nil disables
 	// rewriting; exact matching is unaffected either way.
 	Rewrite *RewriteOptions
+	// Adapt configures the continuous adaptation control loop (AdaptRound
+	// / StartAdapt). Nil uses defaults when the loop is invoked; the loop
+	// never runs unless explicitly started.
+	Adapt *AdaptOptions
 }
 
 // DefaultMaxObservedQueries is the default Options.MaxObservedQueries.
@@ -131,6 +136,17 @@ type Index struct {
 	// rewriter plans approximate broad-match expansions; nil when
 	// Options.Rewrite is unset. Immutable after construction.
 	rewriter *rewrite.Planner
+
+	// remapEpoch counts placement changes (Optimize, ApplyMapping,
+	// ApplyPlacement) — the staleness guard of the adaptation loop.
+	remapEpoch atomic.Uint64
+	// attr accumulates per-query cost attribution (RecordQueryCost) for
+	// cost-model recalibration.
+	attr core.CostAttribution
+	// adaptCtl is the lazily-built continuous-adaptation controller;
+	// adaptMu guards its construction and lifecycle.
+	adaptMu  sync.Mutex
+	adaptCtl *adapt.Controller
 
 	// optimizeRebuildHook, when set, is invoked (without ix.mu held)
 	// immediately before each Optimize rebuild attempt — after the fold
@@ -430,6 +446,7 @@ func (ix *Index) Optimize() (OptimizeReport, error) {
 				base: rebuilt, delta: cur.delta, deltaSigs: cur.deltaSigs,
 				tombs: cur.tombs, deleted: cur.deleted, epoch: cur.epoch + 1,
 			})
+			ix.remapEpoch.Add(1)
 			// Layout changes are not WAL-logged (the WAL holds logical
 			// mutations only), so persist the optimized placement as a
 			// full snapshot before releasing the writer lock. Mutators
@@ -487,6 +504,7 @@ func (ix *Index) ApplyMapping(r io.Reader) error {
 		return err
 	}
 	ix.publish(&snapshot{base: rebuilt, epoch: s.epoch + 1})
+	ix.remapEpoch.Add(1)
 	ix.snapshotIfDurableLocked()
 	return nil
 }

@@ -91,10 +91,17 @@ func (s *snapshot) appendBroadMatchBudget(dst []*corpus.Ad, queryWords []string,
 // true match. A zero QueryBudget matches without bound (and still
 // reports CutoffApplied, surfacing the MaxQueryWords drop).
 func (v View) BroadMatchBudget(query string, qb QueryBudget) MatchResult {
+	return v.BroadMatchBudgetCounted(query, qb, nil)
+}
+
+// BroadMatchBudgetCounted is BroadMatchBudget with memory-access
+// accounting: the serving layer uses the counters to attribute modeled
+// cost per query (RecordQueryCost) without paying for a second match.
+func (v View) BroadMatchBudgetCounted(query string, qb QueryBudget, counters *Counters) MatchResult {
 	sc := getScratch()
 	sc.budget = core.Budget{MaxCost: qb.MaxCost, Deadline: qb.Deadline, Now: qb.Now}
 	sc.words = textnorm.AppendWordSet(sc.words[:0], query)
-	sc.matches = v.s.appendBroadMatchBudget(sc.matches[:0], sc.words, nil, &sc.core, &sc.budget)
+	sc.matches = v.s.appendBroadMatchBudget(sc.matches[:0], sc.words, counters, &sc.core, &sc.budget)
 	res := MatchResult{
 		Ads:           copyMatches(sc.matches),
 		Truncated:     sc.budget.Exhausted(),

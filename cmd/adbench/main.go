@@ -25,6 +25,9 @@
 //	reshard   QPS/p99 before/during/after a live shard split (writes BENCH_PR7.json)
 //	overload  budget overhead + adversarial flood through the armored
 //	          server (writes BENCH_PR9.json + BENCH_PR9_BASE.json)
+//	adapt     continuous adaptation under workload drift: adapting vs
+//	          frozen p99 modeled cost (writes BENCH_PR10.json +
+//	          BENCH_PR10_BASE.json)
 package main
 
 import (
@@ -76,10 +79,11 @@ func main() {
 		"perf":        runPerf,
 		"reshard":     runReshard,
 		"overload":    runOverload,
+		"adapt":       runAdapt,
 	}
 	order := []string{"fig1", "fig2", "fig3", "fig7", "tput", "keysize",
 		"fig8", "fig9", "fig10", "counters", "compress", "ablation",
-		"maintenance", "perf", "reshard", "overload"}
+		"maintenance", "perf", "reshard", "overload", "adapt"}
 
 	switch {
 	case *experiment == "all":

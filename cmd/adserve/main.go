@@ -78,6 +78,14 @@ func main() {
 	maxObserved := flag.Int("max-observed", adindex.DefaultMaxObservedQueries,
 		"cap on distinct observed queries kept for layout optimization (negative = unbounded)")
 
+	// Continuous adaptation (local modes): a background control loop that
+	// re-maps the most misplaced word sets each round instead of
+	// stop-the-world /optimize calls (see DESIGN.md §5.10).
+	adaptInterval := flag.Duration("adapt-interval", 0,
+		"continuous adaptation: background re-mapping round period; also enables per-query cost tracking and live cost-model recalibration (0 disables; local modes only)")
+	adaptTopK := flag.Int("adapt-topk", 0,
+		"continuous adaptation: max misplaced word sets moved per round (0 = default 32, negative = unbounded)")
+
 	// Overload armor: per-query cost budgets, adaptive load shedding, and
 	// the poison-query quarantine (see DESIGN.md §5.9).
 	queryBudget := flag.Int64("query-budget", 0,
@@ -163,6 +171,19 @@ func main() {
 		QuarantineTTL:    *quarantineTTL,
 	}
 
+	var adaptOpts *adindex.AdaptOptions
+	if *adaptInterval > 0 {
+		adaptOpts = &adindex.AdaptOptions{
+			Interval:  *adaptInterval,
+			TopK:      *adaptTopK,
+			Calibrate: true,
+		}
+		// The loop feeds on per-query attribution, so cost tracking and
+		// the adapt /metrics section come with it.
+		cfg.TrackCost = true
+		cfg.Adapt = true
+	}
+
 	var rewriteOpts *adindex.RewriteOptions
 	if *rewriteOn || *synonymsPath != "" {
 		if *shards != "" {
@@ -200,6 +221,8 @@ func main() {
 			log.Fatal("-elastic is incompatible with -rewrite/-synonyms: rewrite runs on a local index")
 		case *tcpIndex != "":
 			log.Fatal("-elastic is incompatible with -tcp-index: shard positions already serve the TCP index protocol")
+		case adaptOpts != nil:
+			log.Fatal("-adapt-interval is incompatible with -elastic: the cluster re-maps via the offline export/optimize path")
 		}
 		runElastic(cfg, elasticFlags{
 			shards:           *elasticShards,
@@ -239,6 +262,7 @@ func main() {
 			maxObserved:   *maxObserved,
 			queryBudget:   *queryBudget,
 			rewriteOpts:   rewriteOpts,
+			adaptOpts:     adaptOpts,
 		})
 		return
 	}
@@ -247,6 +271,9 @@ func main() {
 	if *shards != "" {
 		if *adServer == "" {
 			log.Fatal("-shards requires -ad-server")
+		}
+		if adaptOpts != nil {
+			log.Fatal("-adapt-interval requires a local index; a remote front-end holds none")
 		}
 		replicas := parseShards(*shards)
 		nc, err := shard.DialReplicaShards(replicas, *adServer, shard.Options{
@@ -287,6 +314,7 @@ func main() {
 			MaxWords:           *maxWords,
 			MaxObservedQueries: *maxObserved,
 			Rewrite:            rewriteOpts,
+			Adapt:              adaptOpts,
 		})
 		if *mappingPath != "" {
 			mf, err := os.Open(*mappingPath)
@@ -302,6 +330,12 @@ func main() {
 		st := ix.Stats()
 		log.Printf("index ready: %d ads, %d nodes, %d distinct sets",
 			st.NumAds, st.NumNodes, st.DistinctSets)
+
+		if adaptOpts != nil {
+			ix.StartAdapt()
+			defer ix.StopAdapt()
+			log.Printf("continuous adaptation: round every %v, top-k %d", *adaptInterval, *adaptTopK)
+		}
 
 		if *tcpIndex != "" {
 			ts, err := multiserver.NewIndexServer(*tcpIndex, multiserver.ServeOpts{}, indexBackend{ix, *queryBudget})
@@ -338,6 +372,7 @@ type durableFlags struct {
 	maxWords, maxObserved   int
 	queryBudget             int64
 	rewriteOpts             *adindex.RewriteOptions
+	adaptOpts               *adindex.AdaptOptions
 }
 
 // runDurable is the durable-mode main loop: bind the port first (so
@@ -402,6 +437,7 @@ func runDurable(cfg server.Config, df durableFlags) {
 		MaxWords:           df.maxWords,
 		MaxObservedQueries: df.maxObserved,
 		Rewrite:            df.rewriteOpts,
+		Adapt:              df.adaptOpts,
 	}, adindex.DurableConfig{
 		Sync:          syncMode,
 		SnapshotEvery: df.snapshotEvery,
@@ -455,6 +491,12 @@ func runDurable(cfg server.Config, df durableFlags) {
 	log.Printf("index ready: %d ads, %d nodes, %d distinct sets",
 		st.NumAds, st.NumNodes, st.DistinctSets)
 	srv.InstallIndex(ix, report)
+
+	if df.adaptOpts != nil {
+		ix.StartAdapt()
+		defer ix.StopAdapt()
+		log.Printf("continuous adaptation: round every %v, top-k %d", df.adaptOpts.Interval, df.adaptOpts.TopK)
+	}
 
 	if df.tcpIndex != "" {
 		ts, err := multiserver.NewIndexServer(df.tcpIndex, multiserver.ServeOpts{}, indexBackend{ix, df.queryBudget})

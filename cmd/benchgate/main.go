@@ -35,24 +35,24 @@ type variant struct {
 	Name        string  `json:"name"`
 	SerialQPS   float64 `json:"serial_qps"`
 	AllocsPerOp float64 `json:"allocs_per_op"`
+	// P99CostUnits is the p99 per-query modeled cost (cost-model units),
+	// recorded by the adapt experiment. Zero when the experiment does not
+	// measure it.
+	P99CostUnits float64 `json:"p99_cost_units,omitempty"`
 }
 
-// report is the subset of cmd/adbench's perf report schema the gate
-// reads. Keys absent from a file decode to zero-value variants with an
-// empty Name, which byName drops.
-type report struct {
-	Before      variant `json:"before"`
-	After       variant `json:"after"`
-	AfterAppend variant `json:"after_append"`
-	AfterBatch  variant `json:"after_batch"`
-}
-
-func (r *report) byName() map[string]variant {
+// byName extracts every variant from a report: any top-level object
+// with a "name" field is a variant, whatever its JSON key. Scalar
+// metadata and nameless objects (e.g. PR9's "flood" section) are
+// skipped, so one loader reads every report generation's schema.
+func byName(raw map[string]json.RawMessage) map[string]variant {
 	m := make(map[string]variant)
-	for _, v := range []variant{r.Before, r.After, r.AfterAppend, r.AfterBatch} {
-		if v.Name != "" {
-			m[v.Name] = v
+	for _, msg := range raw {
+		var v variant
+		if err := json.Unmarshal(msg, &v); err != nil || v.Name == "" {
+			continue
 		}
+		m[v.Name] = v
 	}
 	return m
 }
@@ -60,8 +60,14 @@ func (r *report) byName() map[string]variant {
 // compare returns one problem string per gate violation and one note per
 // variant that could not be compared. maxDrop is the tolerated fractional
 // serial-QPS drop (0.10 = 10%); allowAllocs maps variant name to the
-// allocs/op increase explicitly granted at the call site.
-func compare(old, new map[string]variant, maxDrop float64, allowAllocs map[string]float64) (problems, notes []string) {
+// allocs/op increase explicitly granted at the call site. maxP99Ratio
+// and minP99Ratio bound new/old p99 modeled cost per named variant —
+// the adapt-drift gate: the adapting variant must hold its p99 near the
+// pre-drift baseline (max ratio) while the frozen control must actually
+// degrade (min ratio), or the scenario measured nothing. Naming a
+// variant whose reports lack the p99 field is itself a failure, so a
+// broken recording cannot silently pass the gate.
+func compare(old, new map[string]variant, maxDrop float64, allowAllocs, maxP99Ratio, minP99Ratio map[string]float64) (problems, notes []string) {
 	names := make([]string, 0, len(old))
 	for name := range old {
 		names = append(names, name)
@@ -84,6 +90,27 @@ func compare(old, new map[string]variant, maxDrop float64, allowAllocs map[strin
 				"%s: allocs/op %.3f exceeds prior %.3f (allowance +%.3f)",
 				name, nv.AllocsPerOp, ov.AllocsPerOp, allowAllocs[name]))
 		}
+		maxR, hasMax := maxP99Ratio[name]
+		minR, hasMin := minP99Ratio[name]
+		if hasMax || hasMin {
+			if ov.P99CostUnits <= 0 || nv.P99CostUnits <= 0 {
+				problems = append(problems, fmt.Sprintf(
+					"%s: p99 cost ratio gated but p99_cost_units missing (old %.0f, new %.0f)",
+					name, ov.P99CostUnits, nv.P99CostUnits))
+				continue
+			}
+			ratio := nv.P99CostUnits / ov.P99CostUnits
+			if hasMax && ratio > maxR {
+				problems = append(problems, fmt.Sprintf(
+					"%s: p99 cost %.0f is %.2fx the prior %.0f (max ratio %.2f)",
+					name, nv.P99CostUnits, ratio, ov.P99CostUnits, maxR))
+			}
+			if hasMin && ratio < minR {
+				problems = append(problems, fmt.Sprintf(
+					"%s: p99 cost %.0f is only %.2fx the prior %.0f (min ratio %.2f — the control scenario measured no degradation)",
+					name, nv.P99CostUnits, ratio, ov.P99CostUnits, minR))
+			}
+		}
 	}
 	for name := range new {
 		if _, ok := old[name]; !ok {
@@ -99,11 +126,11 @@ func load(path string) (map[string]variant, error) {
 	if err != nil {
 		return nil, err
 	}
-	var r report
-	if err := json.Unmarshal(data, &r); err != nil {
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(data, &raw); err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
-	m := r.byName()
+	m := byName(raw)
 	if len(m) == 0 {
 		return nil, fmt.Errorf("%s: no perf variants found (wrong schema?)", path)
 	}
@@ -114,6 +141,22 @@ func main() {
 	oldPath := flag.String("old", "", "prior perf report (baseline)")
 	newPath := flag.String("new", "", "current perf report under gate")
 	maxDrop := flag.Float64("max-qps-drop", 0.10, "tolerated fractional serial-QPS drop per variant")
+	ratioFlag := func(flagName, usage string) map[string]float64 {
+		m := make(map[string]float64)
+		flag.Func(flagName, usage, func(s string) error {
+			name, val, ok := strings.Cut(s, "=")
+			if !ok {
+				return fmt.Errorf("want name=ratio, got %q", s)
+			}
+			r, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return err
+			}
+			m[name] = r
+			return nil
+		})
+		return m
+	}
 	allowAllocs := make(map[string]float64)
 	flag.Func("allow-allocs", "grant a variant an allocs/op increase, as name=delta (repeatable)", func(s string) error {
 		name, val, ok := strings.Cut(s, "=")
@@ -127,6 +170,10 @@ func main() {
 		allowAllocs[name] = d
 		return nil
 	})
+	maxP99Ratio := ratioFlag("max-p99cost-ratio",
+		"cap a variant's new/old p99 modeled-cost ratio, as name=ratio (repeatable)")
+	minP99Ratio := ratioFlag("min-p99cost-ratio",
+		"require a variant's new/old p99 modeled-cost ratio to reach at least this, as name=ratio (repeatable)")
 	flag.Parse()
 	if *oldPath == "" || *newPath == "" {
 		fmt.Fprintln(os.Stderr, "benchgate: -old and -new are required")
@@ -145,7 +192,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	problems, notes := compare(old, cur, *maxDrop, allowAllocs)
+	problems, notes := compare(old, cur, *maxDrop, allowAllocs, maxP99Ratio, minP99Ratio)
 	for _, n := range notes {
 		fmt.Println("note:", n)
 	}

@@ -16,7 +16,7 @@ func vmap(vs ...variant) map[string]variant {
 func TestCompareClean(t *testing.T) {
 	old := vmap(variant{Name: "snapshot", SerialQPS: 100000, AllocsPerOp: 1})
 	cur := vmap(variant{Name: "snapshot", SerialQPS: 95000, AllocsPerOp: 1})
-	problems, notes := compare(old, cur, 0.10, nil)
+	problems, notes := compare(old, cur, 0.10, nil, nil, nil)
 	if len(problems) != 0 {
 		t.Fatalf("unexpected problems: %v", problems)
 	}
@@ -28,7 +28,7 @@ func TestCompareClean(t *testing.T) {
 func TestCompareQPSDrop(t *testing.T) {
 	old := vmap(variant{Name: "snapshot", SerialQPS: 100000})
 	cur := vmap(variant{Name: "snapshot", SerialQPS: 89000})
-	problems, _ := compare(old, cur, 0.10, nil)
+	problems, _ := compare(old, cur, 0.10, nil, nil, nil)
 	if len(problems) != 1 || !strings.Contains(problems[0], "serial QPS") {
 		t.Fatalf("want one QPS problem, got %v", problems)
 	}
@@ -37,19 +37,19 @@ func TestCompareQPSDrop(t *testing.T) {
 func TestCompareAllocsRegress(t *testing.T) {
 	old := vmap(variant{Name: "snapshot-append", SerialQPS: 100, AllocsPerOp: 0})
 	cur := vmap(variant{Name: "snapshot-append", SerialQPS: 100, AllocsPerOp: 1})
-	problems, _ := compare(old, cur, 0.10, nil)
+	problems, _ := compare(old, cur, 0.10, nil, nil, nil)
 	if len(problems) != 1 || !strings.Contains(problems[0], "allocs/op") {
 		t.Fatalf("want one allocs problem, got %v", problems)
 	}
 
 	// An explicit allowance documents the change and absorbs exactly it...
-	problems, _ = compare(old, cur, 0.10, map[string]float64{"snapshot-append": 1})
+	problems, _ = compare(old, cur, 0.10, map[string]float64{"snapshot-append": 1}, nil, nil)
 	if len(problems) != 0 {
 		t.Fatalf("allowance not applied: %v", problems)
 	}
 	// ...but any further regression beyond the allowance still fails.
 	cur = vmap(variant{Name: "snapshot-append", SerialQPS: 100, AllocsPerOp: 2.5})
-	problems, _ = compare(old, cur, 0.10, map[string]float64{"snapshot-append": 1})
+	problems, _ = compare(old, cur, 0.10, map[string]float64{"snapshot-append": 1}, nil, nil)
 	if len(problems) != 1 {
 		t.Fatalf("regression beyond allowance not caught: %v", problems)
 	}
@@ -64,12 +64,51 @@ func TestCompareUnmatchedVariantsSkipped(t *testing.T) {
 		variant{Name: "locked-reference", SerialQPS: 10}, // renamed: must not gate
 		variant{Name: "snapshot", SerialQPS: 99000},
 	)
-	problems, notes := compare(old, cur, 0.10, nil)
+	problems, notes := compare(old, cur, 0.10, nil, nil, nil)
 	if len(problems) != 0 {
 		t.Fatalf("unexpected problems: %v", problems)
 	}
 	if len(notes) != 2 {
 		t.Fatalf("want 2 skip notes, got %v", notes)
+	}
+}
+
+func TestCompareP99CostRatios(t *testing.T) {
+	old := vmap(
+		variant{Name: "adapt-drift", SerialQPS: 100, P99CostUnits: 4096},
+		variant{Name: "adapt-static-drift", SerialQPS: 100, P99CostUnits: 4096},
+	)
+	cur := vmap(
+		variant{Name: "adapt-drift", SerialQPS: 100, P99CostUnits: 4096},
+		variant{Name: "adapt-static-drift", SerialQPS: 100, P99CostUnits: 8192},
+	)
+	maxR := map[string]float64{"adapt-drift": 1.3}
+	minR := map[string]float64{"adapt-static-drift": 1.5}
+	problems, _ := compare(old, cur, 0.10, nil, maxR, minR)
+	if len(problems) != 0 {
+		t.Fatalf("unexpected problems: %v", problems)
+	}
+
+	// Adapting variant degraded past the cap: gate fails.
+	cur["adapt-drift"] = variant{Name: "adapt-drift", SerialQPS: 100, P99CostUnits: 8192}
+	problems, _ = compare(old, cur, 0.10, nil, maxR, minR)
+	if len(problems) != 1 || !strings.Contains(problems[0], "max ratio") {
+		t.Fatalf("want one max-ratio problem, got %v", problems)
+	}
+	cur["adapt-drift"] = variant{Name: "adapt-drift", SerialQPS: 100, P99CostUnits: 4096}
+
+	// Frozen control did NOT degrade: the scenario measured nothing.
+	cur["adapt-static-drift"] = variant{Name: "adapt-static-drift", SerialQPS: 100, P99CostUnits: 4096}
+	problems, _ = compare(old, cur, 0.10, nil, maxR, minR)
+	if len(problems) != 1 || !strings.Contains(problems[0], "min ratio") {
+		t.Fatalf("want one min-ratio problem, got %v", problems)
+	}
+
+	// A gated variant missing the p99 field fails instead of passing.
+	cur["adapt-static-drift"] = variant{Name: "adapt-static-drift", SerialQPS: 100}
+	problems, _ = compare(old, cur, 0.10, nil, maxR, minR)
+	if len(problems) != 1 || !strings.Contains(problems[0], "missing") {
+		t.Fatalf("want one missing-field problem, got %v", problems)
 	}
 }
 
@@ -87,7 +126,7 @@ func TestGateCommittedReports(t *testing.T) {
 	// Allowances mirror the Makefile: the exclusion-set string arena
 	// copy-out (added after BENCH_PR3.json was recorded) costs each
 	// copy-out variant exactly one allocation per query.
-	problems, _ := compare(old, cur, 0.10, map[string]float64{"snapshot": 1, "snapshot-append": 1})
+	problems, _ := compare(old, cur, 0.10, map[string]float64{"snapshot": 1, "snapshot-append": 1}, nil, nil)
 	if len(problems) != 0 {
 		t.Fatalf("committed reports fail the gate: %v", problems)
 	}

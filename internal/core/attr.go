@@ -1,0 +1,85 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"adindex/internal/costmodel"
+)
+
+// CostAttribution accumulates per-query cost attribution from sampled
+// serving traffic: the counter deltas a query generated plus the wall
+// time it took. All fields are atomics, so recording from concurrent
+// query goroutines never takes a lock and reading never blocks serving.
+// The adaptation loop diffs successive Stats snapshots to get the
+// per-round window it feeds the cost-model calibrator.
+type CostAttribution struct {
+	queries         atomic.Int64
+	nanos           atomic.Int64
+	randomAccesses  atomic.Int64
+	bytesScanned    atomic.Int64
+	hashProbes      atomic.Int64
+	nodesVisited    atomic.Int64
+	signatureChecks atomic.Int64
+}
+
+// Record attributes one sampled query's counters and wall time.
+func (a *CostAttribution) Record(c *costmodel.Counters, nanos int64) {
+	a.queries.Add(1)
+	a.nanos.Add(nanos)
+	a.randomAccesses.Add(c.RandomAccesses)
+	a.bytesScanned.Add(c.BytesScanned)
+	a.hashProbes.Add(c.HashProbes)
+	a.nodesVisited.Add(c.NodesVisited)
+	a.signatureChecks.Add(c.SignatureChecks)
+}
+
+// AttributionStats is a point-in-time copy of the accumulated totals.
+type AttributionStats struct {
+	Queries         int64
+	Nanos           int64
+	RandomAccesses  int64
+	BytesScanned    int64
+	HashProbes      int64
+	NodesVisited    int64
+	SignatureChecks int64
+}
+
+// Stats snapshots the accumulated totals. Each field is loaded atomically;
+// the snapshot as a whole is not a consistent cut, which is fine for the
+// statistical use (calibration windows span many queries).
+func (a *CostAttribution) Stats() AttributionStats {
+	return AttributionStats{
+		Queries:         a.queries.Load(),
+		Nanos:           a.nanos.Load(),
+		RandomAccesses:  a.randomAccesses.Load(),
+		BytesScanned:    a.bytesScanned.Load(),
+		HashProbes:      a.hashProbes.Load(),
+		NodesVisited:    a.nodesVisited.Load(),
+		SignatureChecks: a.signatureChecks.Load(),
+	}
+}
+
+// Sub returns the window delta s - prev, field-wise.
+func (s AttributionStats) Sub(prev AttributionStats) AttributionStats {
+	return AttributionStats{
+		Queries:         s.Queries - prev.Queries,
+		Nanos:           s.Nanos - prev.Nanos,
+		RandomAccesses:  s.RandomAccesses - prev.RandomAccesses,
+		BytesScanned:    s.BytesScanned - prev.BytesScanned,
+		HashProbes:      s.HashProbes - prev.HashProbes,
+		NodesVisited:    s.NodesVisited - prev.NodesVisited,
+		SignatureChecks: s.SignatureChecks - prev.SignatureChecks,
+	}
+}
+
+// Sample converts a window delta into a calibration observation. Hash
+// probes count as random accesses for calibration purposes: a probe is a
+// cold lookup into the top-level table, which is exactly the access class
+// Cost_Random prices.
+func (s AttributionStats) Sample() costmodel.Sample {
+	return costmodel.Sample{
+		RandomAccesses: s.RandomAccesses + s.HashProbes,
+		BytesScanned:   s.BytesScanned,
+		Nanos:          s.Nanos,
+	}
+}

@@ -1,0 +1,52 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"adindex/internal/costmodel"
+)
+
+// TestCostAttributionConcurrent records from many goroutines and checks
+// the totals; run under -race this also proves the recording path is
+// lock-free-safe.
+func TestCostAttributionConcurrent(t *testing.T) {
+	var attr CostAttribution
+	const goroutines, perG = 8, 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := costmodel.Counters{RandomAccesses: 2, BytesScanned: 100, HashProbes: 3, NodesVisited: 1, SignatureChecks: 5}
+			for i := 0; i < perG; i++ {
+				attr.Record(&c, 250)
+			}
+		}()
+	}
+	wg.Wait()
+	s := attr.Stats()
+	n := int64(goroutines * perG)
+	if s.Queries != n || s.Nanos != 250*n || s.RandomAccesses != 2*n ||
+		s.BytesScanned != 100*n || s.HashProbes != 3*n || s.SignatureChecks != 5*n {
+		t.Fatalf("totals off: %+v (n=%d)", s, n)
+	}
+}
+
+func TestAttributionWindowDelta(t *testing.T) {
+	var attr CostAttribution
+	c := costmodel.Counters{RandomAccesses: 4, BytesScanned: 64, HashProbes: 2}
+	attr.Record(&c, 1000)
+	before := attr.Stats()
+	attr.Record(&c, 3000)
+	attr.Record(&c, 5000)
+	delta := attr.Stats().Sub(before)
+	if delta.Queries != 2 || delta.Nanos != 8000 || delta.RandomAccesses != 8 {
+		t.Fatalf("bad window delta: %+v", delta)
+	}
+	sample := delta.Sample()
+	// Hash probes fold into the random-access class.
+	if sample.RandomAccesses != 8+4 || sample.BytesScanned != 128 || sample.Nanos != 8000 {
+		t.Fatalf("bad sample: %+v", sample)
+	}
+}

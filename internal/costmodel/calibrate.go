@@ -1,0 +1,119 @@
+package costmodel
+
+import "fmt"
+
+// Calibration: the model's only decision-relevant parameter is the ratio
+// Random/ScanByte (Section IV-A — costs are abstract units, only ratios
+// matter). Instead of trusting the fixed default, the adaptation loop
+// fits the ratio from live serving telemetry: per-query counter deltas
+// (random accesses, bytes scanned) paired with measured wall time. With
+// t ≈ a·randomAccesses + b·bytesScanned per sample, the least-squares
+// solution through the origin gives a and b in ns, and Random = a/b in
+// byte units with ScanByte normalized to 1.
+
+// Sample is one calibration observation: counter deltas accumulated over
+// some window plus the wall time the window took.
+type Sample struct {
+	RandomAccesses int64
+	BytesScanned   int64
+	Nanos          int64
+}
+
+// Calibrator accumulates samples and fits a cost model from them. The
+// zero value is ready to use. It keeps only O(1) state (the normal-
+// equation moments), so it can run forever inside the control loop.
+type Calibrator struct {
+	n             int
+	sxx, sxy, syy float64 // x = random accesses, y = bytes scanned
+	sxt, syt      float64 // t = nanos
+	// MinSamples gates fitting; zero means DefaultMinSamples.
+	MinSamples int
+	// MinRatio/MaxRatio clamp the fitted Random/ScanByte ratio to a
+	// plausible hardware range, so one noisy window cannot swing the
+	// optimizer to a degenerate layout. Zero means the defaults.
+	MinRatio, MaxRatio float64
+}
+
+// DefaultMinSamples is the number of samples required before Fit will
+// produce a model.
+const DefaultMinSamples = 8
+
+// DefaultMinRatio / DefaultMaxRatio bound the fitted random-vs-scan
+// ratio: below ~16 bytes a "random access" would be cheaper than a cache
+// line; above ~64Ki the fit is disk-era nonsense for a RAM index.
+const (
+	DefaultMinRatio = 16
+	DefaultMaxRatio = 65536
+)
+
+// Add accumulates one observation. Samples with no work are ignored.
+func (c *Calibrator) Add(s Sample) {
+	if s.Nanos <= 0 || (s.RandomAccesses <= 0 && s.BytesScanned <= 0) {
+		return
+	}
+	x, y, t := float64(s.RandomAccesses), float64(s.BytesScanned), float64(s.Nanos)
+	c.n++
+	c.sxx += x * x
+	c.sxy += x * y
+	c.syy += y * y
+	c.sxt += x * t
+	c.syt += y * t
+}
+
+// Samples returns how many observations have been accumulated.
+func (c *Calibrator) Samples() int { return c.n }
+
+// Reset discards all accumulated samples (bounds are kept).
+func (c *Calibrator) Reset() {
+	c.n = 0
+	c.sxx, c.sxy, c.syy, c.sxt, c.syt = 0, 0, 0, 0, 0
+}
+
+// Fit solves the two-regressor least squares t ≈ a·x + b·y and returns
+// the implied model {Random: a/b, ScanByte: 1, ScanSetup: 0}, clamped to
+// [MinRatio, MaxRatio]. It returns (prior, false) when there are too few
+// samples or the system is degenerate (e.g. every sample has the same
+// random/scan mix, which makes a and b unidentifiable), so callers can
+// keep serving with their current model.
+func (c *Calibrator) Fit(prior Model) (Model, bool) {
+	min := c.MinSamples
+	if min == 0 {
+		min = DefaultMinSamples
+	}
+	if c.n < min {
+		return prior, false
+	}
+	det := c.sxx*c.syy - c.sxy*c.sxy
+	// Relative-rank guard: with collinear samples det collapses toward
+	// rounding noise of the moment products.
+	if det <= 1e-9*c.sxx*c.syy || c.sxx == 0 || c.syy == 0 {
+		return prior, false
+	}
+	a := (c.syy*c.sxt - c.sxy*c.syt) / det
+	b := (c.sxx*c.syt - c.sxy*c.sxt) / det
+	if a <= 0 || b <= 0 {
+		// A negative coefficient means the window's mix was too lopsided
+		// to separate the two costs; don't ship a nonsense model.
+		return prior, false
+	}
+	ratio := a / b
+	lo, hi := c.MinRatio, c.MaxRatio
+	if lo == 0 {
+		lo = DefaultMinRatio
+	}
+	if hi == 0 {
+		hi = DefaultMaxRatio
+	}
+	if ratio < lo {
+		ratio = lo
+	}
+	if ratio > hi {
+		ratio = hi
+	}
+	return Model{Random: ratio, ScanByte: 1, ScanSetup: 0}, true
+}
+
+// String summarizes calibrator state for logs.
+func (c *Calibrator) String() string {
+	return fmt.Sprintf("calibrator{n=%d}", c.n)
+}

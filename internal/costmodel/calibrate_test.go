@@ -1,0 +1,117 @@
+package costmodel
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestCalibratorRecoversExactRatio: on noise-free synthetic data
+// generated from a known (a, b), the fit must recover a/b.
+func TestCalibratorRecoversExactRatio(t *testing.T) {
+	const aNS, bNS = 80.0, 0.25 // 80ns per random access, 0.25ns per byte
+	rng := rand.New(rand.NewSource(1))
+	var c Calibrator
+	for i := 0; i < 50; i++ {
+		r := int64(1 + rng.Intn(100))
+		by := int64(1 + rng.Intn(100_000))
+		c.Add(Sample{
+			RandomAccesses: r,
+			BytesScanned:   by,
+			Nanos:          int64(aNS*float64(r) + bNS*float64(by)),
+		})
+	}
+	m, ok := c.Fit(Default())
+	if !ok {
+		t.Fatal("fit failed on exact synthetic data")
+	}
+	want := aNS / bNS // 320
+	if m.Random < want*0.99 || m.Random > want*1.01 {
+		t.Fatalf("fitted ratio %.1f, want ~%.1f", m.Random, want)
+	}
+	if m.ScanByte != 1 || m.ScanSetup != 0 {
+		t.Fatalf("fit must normalize ScanByte to 1: %+v", m)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatalf("fitted model invalid: %v", err)
+	}
+}
+
+// TestCalibratorToleratesNoise: with multiplicative timing noise the fit
+// should still land near the true ratio.
+func TestCalibratorToleratesNoise(t *testing.T) {
+	const aNS, bNS = 100.0, 0.5
+	rng := rand.New(rand.NewSource(2))
+	var c Calibrator
+	for i := 0; i < 400; i++ {
+		r := int64(1 + rng.Intn(50))
+		by := int64(100 + rng.Intn(50_000))
+		exact := aNS*float64(r) + bNS*float64(by)
+		noisy := exact * (0.9 + 0.2*rng.Float64())
+		c.Add(Sample{RandomAccesses: r, BytesScanned: by, Nanos: int64(noisy)})
+	}
+	m, ok := c.Fit(Default())
+	if !ok {
+		t.Fatal("fit failed")
+	}
+	want := aNS / bNS // 200
+	if m.Random < want*0.7 || m.Random > want*1.4 {
+		t.Fatalf("noisy fit %.1f too far from %.1f", m.Random, want)
+	}
+}
+
+func TestCalibratorInsufficientSamples(t *testing.T) {
+	var c Calibrator
+	prior := Model{Random: 123, ScanByte: 1}
+	c.Add(Sample{RandomAccesses: 10, BytesScanned: 100, Nanos: 1000})
+	if m, ok := c.Fit(prior); ok || m != prior {
+		t.Fatalf("fit with %d samples must return prior unchanged, got %+v ok=%v", c.Samples(), m, ok)
+	}
+}
+
+// TestCalibratorDegenerateMix: if every sample has the same random/scan
+// proportion the coefficients are unidentifiable and the fit must refuse.
+func TestCalibratorDegenerateMix(t *testing.T) {
+	var c Calibrator
+	for i := int64(1); i <= 50; i++ {
+		c.Add(Sample{RandomAccesses: 10 * i, BytesScanned: 1000 * i, Nanos: 5000 * i})
+	}
+	if _, ok := c.Fit(Default()); ok {
+		t.Fatal("fit must refuse collinear samples")
+	}
+}
+
+// TestCalibratorClamps: absurd data must clamp into the plausible range.
+func TestCalibratorClamps(t *testing.T) {
+	var c Calibrator
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 50; i++ {
+		r := int64(1 + rng.Intn(100))
+		by := int64(1 + rng.Intn(100_000))
+		// Random accesses a million times costlier than a byte.
+		c.Add(Sample{RandomAccesses: r, BytesScanned: by, Nanos: int64(1e6*float64(r) + float64(by))})
+	}
+	m, ok := c.Fit(Default())
+	if !ok {
+		t.Fatal("fit failed")
+	}
+	if m.Random != DefaultMaxRatio {
+		t.Fatalf("expected clamp to %d, got %.1f", DefaultMaxRatio, m.Random)
+	}
+	if m.BreakEvenBytes() != DefaultMaxRatio {
+		t.Fatalf("break-even %d, want %d", m.BreakEvenBytes(), DefaultMaxRatio)
+	}
+}
+
+func TestCalibratorReset(t *testing.T) {
+	var c Calibrator
+	for i := 0; i < 20; i++ {
+		c.Add(Sample{RandomAccesses: int64(i + 1), BytesScanned: int64(100 * (i + 1)), Nanos: int64(1000 * (i + 1))})
+	}
+	c.Reset()
+	if c.Samples() != 0 {
+		t.Fatalf("reset left %d samples", c.Samples())
+	}
+	if _, ok := c.Fit(Default()); ok {
+		t.Fatal("fit after reset must fail")
+	}
+}

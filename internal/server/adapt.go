@@ -1,0 +1,165 @@
+// Continuous-adaptation serving support: a per-query modeled-cost
+// histogram and the adapt section of /metrics.
+//
+// Wall-clock latency through an HTTP stack is dominated by per-request
+// overhead (syscalls, encoding, scheduling), which drowns the tens of
+// microseconds a layout regression actually costs per query. The
+// modeled-cost histogram measures what the adaptation loop manages —
+// cost-model units charged by the index walk itself — so layout drift
+// and its repair are visible at p99 even when wall-clock noise is 10×
+// the signal. This is the "clock-injected" latency used by the drift
+// tests and cmd/adbench's adapt experiment.
+package server
+
+import (
+	"math"
+	"sync/atomic"
+
+	"adindex"
+)
+
+// costHistBuckets is the bucket count of the modeled-cost histogram:
+// bucket i covers [2^i, 2^(i+1)) cost units (bucket 0 covers [0, 2)),
+// so 48 buckets span any realistic per-query cost.
+const costHistBuckets = 48
+
+// CostHistogram is a fixed-bucket concurrent histogram of per-query
+// modeled cost (cost-model units, i.e. scan-byte equivalents). Observe
+// is two atomic adds; buckets are powers of two.
+type CostHistogram struct {
+	buckets [costHistBuckets]atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Uint64 // total cost units, rounded per sample
+}
+
+func costBucketIndex(cost float64) int {
+	if cost < 2 {
+		return 0
+	}
+	i := int(math.Log2(cost))
+	if i >= costHistBuckets {
+		return costHistBuckets - 1
+	}
+	return i
+}
+
+// costBucketUpper returns the exclusive upper bound of bucket i.
+func costBucketUpper(i int) float64 {
+	return math.Ldexp(1, i+1) // 2^(i+1)
+}
+
+// Observe records one query's modeled cost.
+func (h *CostHistogram) Observe(cost float64) {
+	if cost < 0 {
+		cost = 0
+	}
+	h.buckets[costBucketIndex(cost)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(uint64(cost + 0.5))
+}
+
+// Count returns the number of observed queries.
+func (h *CostHistogram) Count() uint64 { return h.count.Load() }
+
+// Quantile returns an upper bound for the q-quantile of observed costs
+// (the upper edge of the bucket holding that rank); 0 when empty.
+func (h *CostHistogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(total))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen uint64
+	for i := 0; i < costHistBuckets; i++ {
+		seen += h.buckets[i].Load()
+		if seen >= rank {
+			return costBucketUpper(i)
+		}
+	}
+	return costBucketUpper(costHistBuckets - 1)
+}
+
+// Mean returns the mean observed cost (0 when empty).
+func (h *CostHistogram) Mean() float64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.sum.Load()) / float64(n)
+}
+
+// Reset zeroes the histogram. Not atomic with respect to concurrent
+// Observe calls; callers (phase-structured tests and benchmarks) reset
+// between quiescent phases.
+func (h *CostHistogram) Reset() {
+	for i := range h.buckets {
+		h.buckets[i].Store(0)
+	}
+	h.count.Store(0)
+	h.sum.Store(0)
+}
+
+// CostHistogramSnapshot is the JSON form of the modeled-cost histogram.
+type CostHistogramSnapshot struct {
+	Count     uint64  `json:"count"`
+	MeanUnits float64 `json:"mean_units"`
+	P50Units  float64 `json:"p50_units"`
+	P95Units  float64 `json:"p95_units"`
+	P99Units  float64 `json:"p99_units"`
+}
+
+// Snapshot captures the histogram state (approximate under load).
+func (h *CostHistogram) Snapshot() CostHistogramSnapshot {
+	return CostHistogramSnapshot{
+		Count:     h.count.Load(),
+		MeanUnits: h.Mean(),
+		P50Units:  h.Quantile(0.50),
+		P95Units:  h.Quantile(0.95),
+		P99Units:  h.Quantile(0.99),
+	}
+}
+
+// AdaptMetricsSnapshot is the continuous-adaptation section of /metrics:
+// control-loop progress plus the modeled-cost distribution of served
+// queries (present when Config.TrackCost is on).
+type AdaptMetricsSnapshot struct {
+	Rounds        int64 `json:"rounds"`
+	Applied       int64 `json:"applied"`
+	Moves         int64 `json:"moves"`
+	SkippedStale  int64 `json:"skipped_stale"`
+	SkippedNoGain int64 `json:"skipped_no_gain"`
+	Recalibrated  int64 `json:"recalibrated"`
+	// CostBefore/CostAfter are the modeled-cost trend of the latest
+	// planning round (full-workload evaluations).
+	CostBefore float64 `json:"cost_before"`
+	CostAfter  float64 `json:"cost_after"`
+	// ModelRandom is the live random-access cost (scan-byte units),
+	// moving when recalibration is enabled.
+	ModelRandom float64 `json:"model_random"`
+	// QueryCost is the per-query modeled-cost distribution.
+	QueryCost *CostHistogramSnapshot `json:"query_cost,omitempty"`
+}
+
+// adaptSnapshot assembles the adapt /metrics section for a local index.
+func (s *Server) adaptSnapshot(ix *adindex.Index) *AdaptMetricsSnapshot {
+	st := ix.AdaptStatus()
+	snap := &AdaptMetricsSnapshot{
+		Rounds:        st.Rounds,
+		Applied:       st.Applied,
+		Moves:         st.Moves,
+		SkippedStale:  st.SkippedStale,
+		SkippedNoGain: st.SkippedNoGain,
+		Recalibrated:  st.Recalibrated,
+		CostBefore:    st.LastCostBefore,
+		CostAfter:     st.LastCostAfter,
+		ModelRandom:   st.ModelRandom,
+	}
+	if s.cfg.TrackCost {
+		qc := s.metrics.Cost.Snapshot()
+		snap.QueryCost = &qc
+	}
+	return snap
+}

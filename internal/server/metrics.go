@@ -187,6 +187,11 @@ type Registry struct {
 	// Latency is the end-to-end /search latency (queue wait + match +
 	// encode) for admitted requests.
 	Latency Histogram
+	// Cost is the per-query modeled-cost histogram (cost-model units of
+	// the index walk), populated on the broad path when Config.TrackCost
+	// is on. Layout drift shows up here long before it is visible in
+	// wall-clock Latency.
+	Cost CostHistogram
 }
 
 // noteRewrite folds one rewritten query's stats into the registry.
@@ -226,14 +231,14 @@ type MetricsSnapshot struct {
 		Invalidations uint64 `json:"invalidations"`
 		Entries       int    `json:"entries"`
 	} `json:"cache"`
-	Shed          uint64            `json:"shed"`
-	Timeouts      uint64            `json:"timeouts"`
-	InFlight      int64             `json:"in_flight"`
+	Shed     uint64 `json:"shed"`
+	Timeouts uint64 `json:"timeouts"`
+	InFlight int64  `json:"in_flight"`
 	// Overload is the overload-armor section: shedding state and typed
 	// shed counts from the limiter, budget truncations and word-cutoff
 	// counts from the match path, and quarantine/panic containment
 	// activity.
-	Overload OverloadSnapshot `json:"overload"`
+	Overload      OverloadSnapshot  `json:"overload"`
 	Mutations     uint64            `json:"mutations"`
 	Degraded      uint64            `json:"degraded"`
 	BackendErrors uint64            `json:"backend_errors"`
@@ -253,6 +258,10 @@ type MetricsSnapshot struct {
 	// in-flight migration phase, completed/aborted handoffs, and
 	// per-shard placement signals (slots, ads, matches served).
 	Elastic *shard.RebalanceStatus `json:"elastic,omitempty"`
+	// Adapt is present when Config.Adapt or Config.TrackCost is on:
+	// continuous-adaptation rounds/moves/modeled-cost trend, plus the
+	// per-query modeled-cost distribution under TrackCost.
+	Adapt *AdaptMetricsSnapshot `json:"adapt,omitempty"`
 }
 
 // OverloadSnapshot is the overload-armor section of /metrics.

@@ -81,6 +81,16 @@ type Config struct {
 	// (DefaultQuarantineStrikes within one TTL) are fast-rejected at
 	// admission for this long. 0 disables quarantine.
 	QuarantineTTL time.Duration
+	// TrackCost enables per-query modeled-cost accounting on the broad
+	// match path: access counters are attributed to the index
+	// (Index.RecordQueryCost, feeding adaptation's recalibration) and the
+	// modeled cost lands in the /metrics adapt.query_cost histogram.
+	TrackCost bool
+	// Adapt surfaces the continuous-adaptation control loop in /metrics
+	// (rounds, moves, modeled-cost trend). The loop itself is started by
+	// the owner of the index (cmd/adserve's -adapt-interval flag or
+	// Index.StartAdapt); this flag only controls reporting.
+	Adapt bool
 	// Selection, when non-nil, applies the auction-side filters
 	// (exclusion keywords, bid floor, ranking, result cap) to matches
 	// before they are returned. Raw matches are what is cached, so the
@@ -167,7 +177,7 @@ type Server struct {
 	remote   *shard.NetClient // nil in local mode
 	// elastic, when attached, surfaces live-resharding status in
 	// /metrics and /readyz and enables /admin/rebalance.
-	elastic atomic.Pointer[rebalHolder]
+	elastic    atomic.Pointer[rebalHolder]
 	cfg        Config
 	cache      *Cache
 	limiter    *Limiter
@@ -533,10 +543,24 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 			// Broad match runs under the cost budget and the request
 			// deadline; a truncated answer is a verified subset, flagged.
 			deadline, _ := ctx.Deadline()
-			res := view.BroadMatchBudget(q, adindex.QueryBudget{
+			qb := adindex.QueryBudget{
 				MaxCost:  s.cfg.QueryBudget,
 				Deadline: deadline,
-			})
+			}
+			var res adindex.MatchResult
+			if s.cfg.TrackCost {
+				// Counted variant: the same match, with its access counters
+				// attributed to the index (feeding adaptation's cost-model
+				// recalibration) and its modeled cost recorded in the
+				// per-query cost histogram.
+				var c adindex.Counters
+				matchStart := time.Now()
+				res = view.BroadMatchBudgetCounted(q, qb, &c)
+				ix.RecordQueryCost(&c, time.Since(matchStart).Nanoseconds())
+				s.metrics.Cost.Observe(c.Cost(ix.Model()))
+			} else {
+				res = view.BroadMatchBudget(q, qb)
+			}
 			matches, truncated, cutoff, costSpent = res.Ads, res.Truncated, res.CutoffApplied, res.CostSpent
 		}
 		if truncated {
@@ -945,6 +969,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 				d.PersistErr = err.Error()
 			}
 			snap.Durability = d
+		}
+		if s.cfg.Adapt || s.cfg.TrackCost {
+			snap.Adapt = s.adaptSnapshot(ix)
 		}
 	} else if s.localMode {
 		// Recovering: no index yet, but surface that state explicitly.

@@ -25,6 +25,12 @@ type Config struct {
 	// the generator emitting live split/merge/migrate handoffs that carry
 	// mid-handoff inserts and queries.
 	Elastic bool `json:"elastic,omitempty"`
+	// Adapt makes the generator emit OpAdapt ops: synchronous continuous-
+	// adaptation rounds (AdaptRound) on the plain and durable targets,
+	// interleaved with inserts, deletes, and crash-restarts. Every query
+	// after a round is still oracle-checked, so an adaptation that loses
+	// or corrupts results diverges immediately.
+	Adapt bool `json:"adapt,omitempty"`
 	// Shards and Replicas shape the networked deployment. Defaults 2, 2.
 	Shards   int `json:"shards"`
 	Replicas int `json:"replicas"`

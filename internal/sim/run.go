@@ -102,15 +102,21 @@ func RunSchedule(cfg Config, sched Schedule) (*Result, error) {
 }
 
 type runner struct {
-	cfg    Config
-	oracle model
-	rw     *rewrite.Planner // oracle-side planner, nil unless cfg.Rewrite
-	plain  *adindex.Index
-	dur    *durTarget
+	cfg       Config
+	oracle    model
+	rw        *rewrite.Planner // oracle-side planner, nil unless cfg.Rewrite
+	plain     *adindex.Index
+	dur       *durTarget
 	net       netDeployment
 	enet      *elasticTarget // non-nil iff cfg.Elastic (same object as net)
 	checks    int
 	truncated int
+	// adaptDrift is plain's applied adapt rounds minus durable's. An
+	// applied round bumps the epoch, and the two targets may legitimately
+	// decide differently (a crash-restart resets the durable twin's
+	// observed-workload history), so the epoch-lockstep check offsets the
+	// durable epoch by this drift.
+	adaptDrift int64
 }
 
 func (r *runner) apply(i int, op *Op) *Failure {
@@ -191,6 +197,23 @@ func (r *runner) apply(i int, op *Op) *Failure {
 		if r.dur != nil {
 			if err := r.dur.ix.Persist(); err != nil {
 				return fail("durable", "Persist: %v", err)
+			}
+		}
+	case OpAdapt:
+		rep, err := r.plain.AdaptRound()
+		if err != nil {
+			return fail("plain", "AdaptRound: %v", err)
+		}
+		if rep.Applied {
+			r.adaptDrift++
+		}
+		if r.dur != nil {
+			drep, err := r.dur.ix.AdaptRound()
+			if err != nil {
+				return fail("durable", "AdaptRound: %v", err)
+			}
+			if drep.Applied {
+				r.adaptDrift--
 			}
 		}
 	case OpCrash:
@@ -423,8 +446,8 @@ func (r *runner) checkDurableState(i int, when string) *Failure {
 	if d := diffAds(r.dur.ix.Ads(), r.oracle.sortedAds()); d != "" {
 		return fail("ads diverged: %s", d)
 	}
-	if got, want := r.dur.ix.Epoch(), r.plain.Epoch(); got != want {
-		return fail("epoch = %d, plain twin at %d", got, want)
+	if got, want := r.dur.ix.Epoch(), r.plain.Epoch(); int64(got)+r.adaptDrift != int64(want) {
+		return fail("epoch = %d, plain twin at %d (adapt drift %d)", got, want, r.adaptDrift)
 	}
 	if err := r.dur.ix.PersistErr(); err != nil {
 		return fail("sticky persist error: %v", err)

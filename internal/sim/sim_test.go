@@ -234,6 +234,43 @@ func TestSimOverloadBudget(t *testing.T) {
 	}
 }
 
+// adaptSeeds pin the continuous-adaptation scenario: synchronous
+// adaptation rounds (pull delta, re-solve the most misplaced word sets,
+// RCU apply) interleaved with inserts, deletes, batch Optimize calls,
+// and torn-crash restarts of the durable twin. Every query after a
+// round is oracle-checked, so a round that loses or corrupts results
+// diverges; `make adaptsmoke` runs these under the race detector.
+var adaptSeeds = []int64{8, 21}
+
+func TestSimAdaptRegressionSeeds(t *testing.T) {
+	for _, seed := range adaptSeeds {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			cfg := fullConfig(t, seed)
+			cfg.Gen.Ops = 100
+			cfg.Adapt = true
+			sched := Generate(cfg)
+			rounds := 0
+			for i := range sched.Ops {
+				if sched.Ops[i].Kind == OpAdapt {
+					rounds++
+				}
+			}
+			if rounds == 0 {
+				t.Fatalf("seed %d generated no adapt ops: the scenario exercises nothing", seed)
+			}
+			res, err := RunSchedule(cfg, sched)
+			if err != nil {
+				t.Fatalf("harness setup: %v", err)
+			}
+			if res.Failure != nil {
+				t.Fatal(res.Verdict())
+			}
+			t.Logf("%s (%d adapt rounds)", res.Verdict(), rounds)
+		})
+	}
+}
+
 // rewriteRegressionSeeds pin rewrite-enabled schedules: ~40% of queries
 // are typo- or synonym-perturbed and checked through BroadMatchRewrite
 // plus the discounted auction (on the plain and crash-restarted durable

@@ -1,0 +1,138 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestTopicDriftDeterministic(t *testing.T) {
+	c := testCorpus(t)
+	wl := Generate(c, GenOptions{NumQueries: 400, Seed: 7})
+	a := wl.TopicDriftStream(3000, 500, 4, 11)
+	b := wl.TopicDriftStream(3000, 500, 4, 11)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different topic-drift streams")
+	}
+	if len(a) != 3000 {
+		t.Fatalf("stream length %d, want 3000", len(a))
+	}
+	diff := wl.TopicDriftStream(3000, 500, 4, 12)
+	if reflect.DeepEqual(a, diff) {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+// TestTopicDriftRotates: within each period window the hot topic's
+// queries must dominate (well above their steady-state share), and the
+// dominant topic must actually change between consecutive windows.
+func TestTopicDriftRotates(t *testing.T) {
+	c := testCorpus(t)
+	wl := Generate(c, GenOptions{NumQueries: 400, Seed: 7})
+	const (
+		n      = 8000
+		period = 2000
+		topics = 4
+	)
+	stream := wl.TopicDriftStream(n, period, topics, 3)
+
+	// Recover each query's topic from its position in wl.Queries (the
+	// stream returns pointers into that slice).
+	topicOf := make(map[*Query]int, len(wl.Queries))
+	for i := range wl.Queries {
+		topicOf[&wl.Queries[i]] = i % topics
+	}
+	prevHot := -1
+	for w := 0; w < n/period; w++ {
+		counts := make([]int, topics)
+		for _, q := range stream[w*period : (w+1)*period] {
+			counts[topicOf[q]]++
+		}
+		hot, hotCount := 0, 0
+		for tt, ct := range counts {
+			if ct > hotCount {
+				hot, hotCount = tt, ct
+			}
+		}
+		if hot != w%topics {
+			t.Fatalf("window %d: hot topic %d, want %d (counts %v)", w, hot, w%topics, counts)
+		}
+		if hotCount < period/2 {
+			t.Fatalf("window %d: hot topic only got %d/%d emissions", w, hotCount, period)
+		}
+		if prevHot == hot {
+			t.Fatalf("window %d: hot topic did not rotate (still %d)", w, hot)
+		}
+		prevHot = hot
+	}
+}
+
+func TestTopicDriftEdgeCases(t *testing.T) {
+	var empty Workload
+	if got := empty.TopicDriftStream(100, 10, 4, 1); got != nil {
+		t.Fatalf("empty workload: got %d queries, want nil", len(got))
+	}
+	wl := Workload{Queries: []Query{{Words: []string{"a"}, Freq: 3}}}
+	if got := wl.TopicDriftStream(0, 10, 4, 1); got != nil {
+		t.Fatal("n=0 should return nil")
+	}
+	// One distinct query: degenerates to plain Stream, still length n.
+	if got := wl.TopicDriftStream(50, 10, 4, 1); len(got) != 50 {
+		t.Fatalf("single-query workload: got %d, want 50", len(got))
+	}
+}
+
+func TestShiftStreamRampsVocabulary(t *testing.T) {
+	from := Workload{Queries: []Query{
+		{Words: []string{"old", "one"}, Freq: 5},
+		{Words: []string{"old", "two"}, Freq: 3},
+	}}
+	to := Workload{Queries: []Query{
+		{Words: []string{"new", "one"}, Freq: 4},
+		{Words: []string{"new", "two"}, Freq: 6},
+	}}
+	const n = 6000
+	stream := from.ShiftStream(&to, n, 9)
+	if len(stream) != n {
+		t.Fatalf("stream length %d, want %d", len(stream), n)
+	}
+	again := from.ShiftStream(&to, n, 9)
+	if !reflect.DeepEqual(stream, again) {
+		t.Fatal("shift stream is not deterministic")
+	}
+	isNew := func(q *Query) bool { return q.Words[0] == "new" }
+	countNew := func(part []*Query) int {
+		c := 0
+		for _, q := range part {
+			if isNew(q) {
+				c++
+			}
+		}
+		return c
+	}
+	third := n / 3
+	early, late := countNew(stream[:third]), countNew(stream[2*third:])
+	if float64(early)/float64(third) > 0.35 {
+		t.Fatalf("early third already %d/%d new-vocabulary", early, third)
+	}
+	if float64(late)/float64(third) < 0.65 {
+		t.Fatalf("late third only %d/%d new-vocabulary", late, third)
+	}
+	if !isNew(stream[n-1]) {
+		t.Fatal("final emission should draw from the target workload")
+	}
+}
+
+func TestShiftStreamEdgeCases(t *testing.T) {
+	var empty Workload
+	wl := Workload{Queries: []Query{{Words: []string{"a"}, Freq: 1}}}
+	if got := empty.ShiftStream(&empty, 100, 1); got != nil {
+		t.Fatal("both-empty shift should return nil")
+	}
+	// One side empty: every emission comes from the non-empty side.
+	if got := empty.ShiftStream(&wl, 40, 1); len(got) != 40 {
+		t.Fatalf("empty source: got %d, want 40", len(got))
+	}
+	if got := wl.ShiftStream(&empty, 40, 1); len(got) != 40 {
+		t.Fatalf("empty target: got %d, want 40", len(got))
+	}
+}

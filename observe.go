@@ -2,6 +2,7 @@ package adindex
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"adindex/internal/textnorm"
 	"adindex/internal/workload"
@@ -22,11 +23,20 @@ type observeSampler struct {
 	// cap is divided evenly, so totals stay at or below the configured cap.
 	shardCap int
 	shards   [observeShards]observeShard
+	// deltaEpoch counts ExportDelta drains. The adaptation loop pairs a
+	// drained delta with the remap epoch it was planned against; this
+	// counter lets tests and metrics distinguish rounds.
+	deltaEpoch atomic.Uint64
 }
 
 type observeShard struct {
 	mu sync.Mutex
 	m  map[string]*workload.Query
+	// pending accumulates per-key frequency counts since the last
+	// ExportDelta drain. It shares keys with m but holds its own Query
+	// values, so draining never disturbs the long-lived sample and
+	// eviction from m never loses a pending count.
+	pending map[string]*workload.Query
 }
 
 func newObserveSampler(maxObserved int) *observeSampler {
@@ -37,6 +47,7 @@ func newObserveSampler(maxObserved int) *observeSampler {
 	s := &observeSampler{shardCap: cap}
 	for i := range s.shards {
 		s.shards[i].m = make(map[string]*workload.Query)
+		s.shards[i].pending = make(map[string]*workload.Query)
 	}
 	return s
 }
@@ -70,19 +81,52 @@ func (os *observeSampler) Observe(query string) {
 	key := textnorm.SetKey(sc.words)
 	sh := &os.shards[shardIndex(key)]
 	sh.mu.Lock()
+	var words []string
 	if q, ok := sh.m[key]; ok {
 		q.Freq++
+		words = q.Words
 	} else {
 		if len(sh.m) >= os.shardCap {
 			sh.evictLocked()
 		}
 		// The scratch words buffer is pooled; copy it on first admit.
-		words := make([]string, len(sc.words))
+		words = make([]string, len(sc.words))
 		copy(words, sc.words)
 		sh.m[key] = &workload.Query{Words: words, Freq: 1}
 	}
+	if p, ok := sh.pending[key]; ok {
+		p.Freq++
+	} else {
+		if len(sh.pending) >= 2*os.shardCap {
+			// The delta buffer outgrew its drain cadence (adaptation
+			// stopped, or a vocabulary shift flooded new keys). Sample-evict
+			// like the long-lived map: an approximate delta is fine, an
+			// unbounded one is not.
+			sh.pendingEvictLocked()
+		}
+		sh.pending[key] = &workload.Query{Words: words, Freq: 1}
+	}
 	sh.mu.Unlock()
 	putScratch(sc)
+}
+
+// pendingEvictLocked mirrors evictLocked for the delta buffer.
+func (sh *observeShard) pendingEvictLocked() {
+	const sample = 8
+	victim := ""
+	victimFreq := 0
+	n := 0
+	for key, q := range sh.pending {
+		if victim == "" || q.Freq < victimFreq {
+			victim, victimFreq = key, q.Freq
+		}
+		if n++; n >= sample {
+			break
+		}
+	}
+	if victim != "" {
+		delete(sh.pending, victim)
+	}
 }
 
 // evictLocked removes the lowest-frequency entry among a small random
@@ -133,4 +177,33 @@ func (os *observeSampler) Workload() *workload.Workload {
 		sh.mu.Unlock()
 	}
 	return wl
+}
+
+// ExportDelta drains the per-shard delta buffers accumulated since the
+// previous drain and returns them as a workload, plus the drain's epoch
+// (monotonically increasing; the first drain returns 1). Unlike Workload
+// it never walks the long-lived sample, so its cost is proportional to
+// traffic since the last round, not to the sample cap. Shards are
+// drained one lock at a time — Observe on other shards proceeds
+// concurrently, and a key observed on a not-yet-drained shard during the
+// walk simply lands in this or the next delta.
+func (os *observeSampler) ExportDelta() (*workload.Workload, uint64) {
+	wl := &workload.Workload{}
+	for i := range os.shards {
+		sh := &os.shards[i]
+		sh.mu.Lock()
+		if len(sh.pending) > 0 {
+			for _, q := range sh.pending {
+				wl.Queries = append(wl.Queries, *q)
+			}
+			sh.pending = make(map[string]*workload.Query)
+		}
+		sh.mu.Unlock()
+	}
+	return wl, os.deltaEpoch.Add(1)
+}
+
+// DeltaEpoch returns the number of ExportDelta drains so far.
+func (os *observeSampler) DeltaEpoch() uint64 {
+	return os.deltaEpoch.Load()
 }

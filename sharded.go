@@ -16,7 +16,14 @@ type ShardedIndex struct {
 	cluster *shard.Cluster
 }
 
-// NewSharded partitions ads across numShards shard indexes.
+// NewSharded partitions ads across numShards shard indexes. Only the
+// structural options (MaxWords, MaxQueryWords) apply per shard; single-
+// node features configured on Options — including the continuous
+// adaptation loop (Options.Adapt) — are not wired through the cluster.
+// Sharded deployments re-map through the offline path instead: export
+// each shard's workload, optimize out of band, and apply the mapping
+// per shard (re-mapping stays shard-local because ads sharing a word
+// set are co-located).
 func NewSharded(ads []Ad, numShards int, opts Options) (*ShardedIndex, error) {
 	cluster, err := shard.New(ads, numShards, core.Options{
 		MaxWords:      opts.MaxWords,
